@@ -1,0 +1,97 @@
+// Command msgbench regenerates the paper's tables and figures from the
+// simulation, printing each result alongside the paper's published value.
+//
+// Usage:
+//
+//	msgbench                  # all paper experiments
+//	msgbench -table 2         # one table (1, 2, or 3)
+//	msgbench -figure 6        # one figure (6 or 8)
+//	msgbench -ablations       # the prose-claim ablations and the flit demo
+//	msgbench -quiet           # only the paper-vs-measured summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"msglayer/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msgbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "run a single table (1, 2, or 3)")
+	figure := fs.Int("figure", 0, "run a single figure (6 or 8)")
+	ablations := fs.Bool("ablations", false, "run the ablation experiments")
+	quiet := fs.Bool("quiet", false, "print only the comparison summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var results []experiments.Result
+	var err error
+	switch {
+	case *table == 1:
+		results, err = one(experiments.Table1)
+	case *table == 2:
+		results, err = one(experiments.Table2)
+	case *table == 3:
+		results, err = one(experiments.Table3)
+	case *figure == 6:
+		results, err = one(experiments.Figure6)
+	case *figure == 8:
+		results, err = one(experiments.Figure8)
+	case *table != 0 || *figure != 0:
+		err = fmt.Errorf("no such table/figure (tables 1-3, figures 6 and 8)")
+	case *ablations:
+		results, err = experiments.Ablations()
+	default:
+		results, err = experiments.All()
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "msgbench:", err)
+		return 1
+	}
+
+	mismatches := 0
+	for _, r := range results {
+		fmt.Fprintf(stdout, "==== %s ====\n", r.Title)
+		if !*quiet {
+			fmt.Fprintln(stdout, r.Text)
+		}
+		for _, c := range r.Comparisons {
+			status := "ok"
+			if !c.Match() {
+				status = "MISMATCH"
+				mismatches++
+			}
+			note := ""
+			if c.Note != "" {
+				note = "  [" + c.Note + "]"
+			}
+			fmt.Fprintf(stdout, "  %-58s paper %8d  measured %8d  %s%s\n",
+				c.Name, c.Paper, c.Measured, status, note)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(stderr, "msgbench: %d comparisons diverged from the paper\n", mismatches)
+		return 1
+	}
+	return 0
+}
+
+func one(runOne func() (experiments.Result, error)) ([]experiments.Result, error) {
+	r, err := runOne()
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.Result{r}, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table", "1", "-quiet"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Table 1", "paper       20", "paper       27", "ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "MISMATCH") {
+		t.Error("unexpected mismatch")
+	}
+}
+
+func TestRunFigure6Verbose(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-figure", "6"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"CMAM", "CR", "-70%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadSelection(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table", "9"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d for bad table", code)
+	}
+	if !strings.Contains(errOut.String(), "no such table") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for bad flag", code)
+	}
+}

@@ -1,0 +1,176 @@
+// Command netload runs the classic interconnection-network evaluation —
+// offered load versus delivered throughput and latency — on the flit-level
+// wormhole simulator, for deterministic, adaptive, and Compressionless
+// routing. It quantifies the hardware half of the paper's Section 5
+// trade-off: adaptive multipath improves the network's own numbers, while
+// (as msgbench's ablations show) its out-of-order delivery costs the
+// messaging layer instructions.
+//
+// Usage:
+//
+//	netload                            # fat tree 4-ary 2-tree, all modes
+//	netload -topology mesh -w 4 -h 4   # 4x4 mesh
+//	netload -loads 0.05,0.1,0.2        # custom offered loads (pkts/node/cycle)
+//	netload -cycles 4000 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"msglayer/internal/flitnet"
+	"msglayer/internal/network"
+	"msglayer/internal/report"
+	"msglayer/internal/topology"
+	"msglayer/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	topoArg := fs.String("topology", "fattree", "fattree or mesh")
+	k := fs.Int("k", 4, "fat tree arity")
+	levels := fs.Int("levels", 2, "fat tree levels")
+	w := fs.Int("w", 4, "mesh width")
+	h := fs.Int("h", 4, "mesh height")
+	loadsArg := fs.String("loads", "0.02,0.05,0.1,0.2,0.3", "offered loads, packets/node/cycle")
+	cycles := fs.Int("cycles", 2000, "measurement cycles per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	csv := fs.Bool("csv", false, "emit CSV")
+	vcs := fs.Int("vc", 1, "virtual channels (adaptive mesh needs >= 2)")
+	patternArg := fs.String("pattern", "uniform",
+		"traffic pattern: uniform, hotspot[:node:permille], transpose, bitcomplement, neighbor")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	loads, err := parseLoads(*loadsArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "netload:", err)
+		return 1
+	}
+	pattern, err := workload.ByName(*patternArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "netload:", err)
+		return 1
+	}
+	mkTopo := func() (topology.Topology, error) {
+		switch *topoArg {
+		case "fattree":
+			return topology.NewFatTree(*k, *levels)
+		case "mesh":
+			return topology.NewMesh(*w, *h)
+		default:
+			return nil, fmt.Errorf("unknown topology %q", *topoArg)
+		}
+	}
+
+	modes := []flitnet.Mode{flitnet.Deterministic, flitnet.Adaptive, flitnet.CR}
+	var names []string
+	for _, m := range modes {
+		names = append(names, m.String()+" thru", m.String()+" lat")
+	}
+
+	var points []report.SeriesPoint
+	for _, load := range loads {
+		values := make([]float64, 0, 2*len(modes))
+		for _, mode := range modes {
+			topo, err := mkTopo()
+			if err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				return 1
+			}
+			thru, lat, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				return 1
+			}
+			values = append(values, thru, lat)
+		}
+		points = append(points, report.SeriesPoint{
+			X:      int(load * 1000), // permille for the integer axis
+			Values: values,
+		})
+	}
+
+	title := fmt.Sprintf("Delivered throughput (pkts/node/kcycle) and mean latency (cycles) vs offered load (x = load*1000), %s, %s traffic",
+		*topoArg, pattern.Name())
+	if *csv {
+		fmt.Fprint(stdout, report.CSV("load_permille", names, points))
+		return 0
+	}
+	fmt.Fprint(stdout, report.Series(title, "load", names, points))
+	return 0
+}
+
+// measure runs one (topology, mode, pattern, load) point and returns
+// delivered packets per node per kilocycle and the mean packet latency in
+// cycles.
+func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64) (float64, float64, error) {
+	net, err := flitnet.New(flitnet.Config{
+		Topology:        topo,
+		Mode:            mode,
+		BufferFlits:     3,
+		InjectQueue:     8,
+		VirtualChannels: vcs,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	nodes := net.Nodes()
+	gen, err := workload.NewGenerator(pattern, nodes, load, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	for c := 0; c < cycles; c++ {
+		for _, a := range gen.Cycle() {
+			// Injection may backpressure at saturation; the refusal is
+			// part of the measurement (offered != accepted).
+			_ = net.Inject(network.Packet{
+				Src: a.Src, Dst: a.Dst,
+				Data: []network.Word{network.Word(c)},
+			})
+		}
+		net.Tick(1)
+	}
+	// Drain what is in flight so latencies are complete.
+	net.TickUntilQuiet(200000)
+	for node := 0; node < nodes; node++ {
+		for {
+			if _, ok := net.TryRecv(node); !ok {
+				break
+			}
+		}
+	}
+	st := net.FlitStats()
+	thru := float64(st.Delivered) / float64(nodes) / float64(cycles) * 1000
+	return thru, st.MeanLatency(), nil
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, fmt.Errorf("bad load %q (want 0 < load <= 1)", part)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no loads")
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"msglayer/internal/flitnet"
+	"msglayer/internal/topology"
+	"msglayer/internal/workload"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-loads", "0.05,0.2", "-cycles", "300", "-k", "2", "-levels", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"deterministic thru", "adaptive lat", "cr thru", "50", "200"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMeshCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-topology", "mesh", "-w", "3", "-h", "2", "-loads", "0.1",
+		"-cycles", "200", "-vc", "2", "-csv"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "load_permille,") {
+		t.Errorf("CSV:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-topology", "ring"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown topology exit %d", code)
+	}
+	if code := run([]string{"-loads", "2.0"}, &out, &errOut); code != 1 {
+		t.Errorf("bad load exit %d", code)
+	}
+	if code := run([]string{"-loads", "x"}, &out, &errOut); code != 1 {
+		t.Errorf("unparsable load exit %d", code)
+	}
+	if code := run([]string{"-wat"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit %d", code)
+	}
+}
+
+// Throughput grows with offered load below saturation, and latency is
+// sane (at least the minimum path length).
+func TestMeasureMonotoneBelowSaturation(t *testing.T) {
+	topo := topology.MustFatTree(2, 2)
+	lo, latLo, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, latHi, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi > lo) {
+		t.Errorf("throughput did not grow with load: %.2f vs %.2f", lo, hi)
+	}
+	if latLo < 3 || latHi < latLo {
+		t.Errorf("latency odd: %.1f at low load, %.1f at high", latLo, latHi)
+	}
+}
+
+func TestRunPatternFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-pattern", "hotspot:15:600", "-loads", "0.1", "-cycles", "300"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "hotspot(15,600") {
+		t.Errorf("title missing pattern:\n%s", out.String())
+	}
+	if code := run([]string{"-pattern", "ring"}, &out, &errOut); code != 1 {
+		t.Errorf("bad pattern exit %d", code)
+	}
+}

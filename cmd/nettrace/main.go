@@ -1,0 +1,59 @@
+// Command nettrace prints the paper's protocol step diagrams (Figures 3,
+// 4, 5, and 7) as reconstructed from live protocol runs.
+//
+// Usage:
+//
+//	nettrace                 # all four figures
+//	nettrace -figure 4       # one figure
+//	nettrace -words 32       # transfer size for figures 3 and 5
+//	nettrace -packets 6      # packet count for figures 4 and 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"msglayer/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nettrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	figure := fs.Int("figure", 0, "figure to trace (3, 4, 5, or 7); 0 = all")
+	words := fs.Int("words", 8, "message size in words for figures 3 and 5")
+	packets := fs.Int("packets", 4, "packet count for figures 4 and 7")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	runners := map[int]func() (trace.Trace, error){
+		3: func() (trace.Trace, error) { return trace.Figure3(*words) },
+		4: func() (trace.Trace, error) { return trace.Figure4(*packets) },
+		5: func() (trace.Trace, error) { return trace.Figure5(*words) },
+		7: func() (trace.Trace, error) { return trace.Figure7(*packets) },
+	}
+	order := []int{3, 4, 5, 7}
+	if *figure != 0 {
+		if _, ok := runners[*figure]; !ok {
+			fmt.Fprintln(stderr, "nettrace: figures 3, 4, 5, and 7 are traceable")
+			return 1
+		}
+		order = []int{*figure}
+	}
+	for _, f := range order {
+		tr, err := runners[f]()
+		if err != nil {
+			fmt.Fprintf(stderr, "nettrace: figure %d: %v\n", f, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, tr)
+	}
+	return 0
+}

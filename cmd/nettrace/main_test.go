@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Figure 3", "Figure 4", "Figure 5", "Figure 7",
+		"allocation request", "buffer message for retransmission"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunOneFigure(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-figure", "5", "-words", "12"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Figure 5") || strings.Contains(out.String(), "Figure 3") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunBadFigure(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-figure", "6"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "traceable") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}

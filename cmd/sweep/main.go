@@ -1,0 +1,121 @@
+// Command sweep evaluates the generalized cost model (the paper's Figure 8)
+// over packet sizes, message sizes, out-of-order fractions, and
+// acknowledgement group sizes, printing a table or CSV.
+//
+// Usage:
+//
+//	sweep                                  # Figure 8 right: 1024 words, n = 4..128
+//	sweep -words 4096 -sizes 4,8,16        # custom sweep
+//	sweep -protocol finite-cr              # any of the four protocols
+//	sweep -ackgroup 8 -ooo 0.25            # indefinite-protocol knobs
+//	sweep -csv                             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"msglayer/internal/analytic"
+	"msglayer/internal/cost"
+	"msglayer/internal/report"
+)
+
+var protocols = map[string]analytic.Protocol{
+	"finite":        analytic.ProtoFiniteCMAM,
+	"indefinite":    analytic.ProtoIndefiniteCMAM,
+	"finite-cr":     analytic.ProtoFiniteCR,
+	"indefinite-cr": analytic.ProtoIndefiniteCR,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	words := fs.Int("words", 1024, "message size in words")
+	sizesArg := fs.String("sizes", "4,8,16,32,64,128", "comma-separated packet payload sizes")
+	protoArg := fs.String("protocol", "", "protocol: finite, indefinite, finite-cr, indefinite-cr (default: finite and indefinite)")
+	ooo := fs.Float64("ooo", 0.5, "fraction of packets arriving out of order (indefinite protocols)")
+	ackGroup := fs.Int("ackgroup", 1, "acknowledgement group size (indefinite CMAM)")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
+	var selected []analytic.Protocol
+	if *protoArg == "" {
+		selected = []analytic.Protocol{analytic.ProtoIndefiniteCMAM, analytic.ProtoFiniteCMAM}
+	} else {
+		p, ok := protocols[*protoArg]
+		if !ok {
+			fmt.Fprintf(stderr, "sweep: unknown protocol %q\n", *protoArg)
+			return 1
+		}
+		selected = []analytic.Protocol{p}
+	}
+	var names []string
+	for _, p := range selected {
+		names = append(names, p.String()+" total", p.String()+" overhead")
+	}
+
+	var points []report.SeriesPoint
+	for _, n := range sizes {
+		sched, err := cost.NewPaperSchedule(n)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		p := analytic.Packets(sched, *words)
+		prm := analytic.Params{
+			MessageWords: *words,
+			OutOfOrder:   int(*ooo * float64(p)),
+			AckGroup:     *ackGroup,
+		}
+		var values []float64
+		for _, proto := range selected {
+			b, err := analytic.Evaluate(proto, sched, prm)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			values = append(values, float64(b.Total().Total()), b.Overhead())
+		}
+		points = append(points, report.SeriesPoint{X: n, Values: values})
+	}
+
+	title := fmt.Sprintf("Messaging cost vs packet size: %d-word message, ooo=%.2f, ack group %d",
+		*words, *ooo, *ackGroup)
+	if *csv {
+		fmt.Fprint(stdout, report.CSV("packet_words", names, points))
+		return 0
+	}
+	fmt.Fprint(stdout, report.Series(title, "n", names, points))
+	return 0
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad packet size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packet sizes")
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"indefinite (CMAM) total", "finite (CMAM) overhead", "128", "29965"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-csv", "-protocol", "finite-cr", "-sizes", "4,8"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "packet_words,finite (CR) total") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// The CR protocol's overhead is near zero at every point.
+	if !strings.Contains(lines[1], ",0.0") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestRunKnobs(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-ooo", "0", "-ackgroup", "16", "-words", "64", "-sizes", "4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ooo=0.00") || !strings.Contains(out.String(), "ack group 16") {
+		t.Errorf("title missing knobs:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "nope"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown protocol exit %d", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-sizes", "x"}, &out, &errOut); code != 1 {
+		t.Errorf("bad sizes exit %d", code)
+	}
+	if code := run([]string{"-sizes", "3"}, &out, &errOut); code != 1 {
+		t.Errorf("odd size exit %d", code)
+	}
+	if code := run([]string{"-junk"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit %d", code)
+	}
+}

@@ -1,0 +1,3 @@
+module msglayer
+
+go 1.22

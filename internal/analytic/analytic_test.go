@@ -1,0 +1,350 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"msglayer/internal/cost"
+)
+
+func sched(t *testing.T, n int) *cost.Schedule {
+	t.Helper()
+	return cost.MustPaperSchedule(n)
+}
+
+func TestPacketsAndHalf(t *testing.T) {
+	s := sched(t, 4)
+	for _, tc := range []struct{ words, packets int }{
+		{1, 1}, {4, 1}, {5, 2}, {16, 4}, {1024, 256}, {1023, 256},
+	} {
+		if got := Packets(s, tc.words); got != tc.packets {
+			t.Errorf("Packets(%d) = %d, want %d", tc.words, got, tc.packets)
+		}
+	}
+	if got := HalfOutOfOrder(s, 16); got != 2 {
+		t.Errorf("HalfOutOfOrder(16) = %d", got)
+	}
+}
+
+func TestSingleCMAMIsTable1(t *testing.T) {
+	b := SingleCMAM(sched(t, 4))
+	if got := b.RoleTotal(cost.Source).Total(); got != 20 {
+		t.Errorf("source = %d", got)
+	}
+	if got := b.RoleTotal(cost.Destination).Total(); got != 27 {
+		t.Errorf("destination = %d", got)
+	}
+	if got := b.Overhead(); got != 0 {
+		t.Errorf("single-packet overhead = %f, want 0 (base only)", got)
+	}
+}
+
+// The analytic model reproduces every Table 2 total at the paper's
+// configurations.
+func TestModelReproducesTable2(t *testing.T) {
+	s := sched(t, 4)
+	cases := []struct {
+		name           string
+		proto          Protocol
+		words          int
+		src, dst, both uint64
+	}{
+		{"finite 16w", ProtoFiniteCMAM, 16, 173, 224, 397},
+		{"finite 1024w", ProtoFiniteCMAM, 1024, 6221, 5516, 11737},
+		{"indefinite 16w", ProtoIndefiniteCMAM, 16, 216, 265, 481},
+		{"indefinite 1024w", ProtoIndefiniteCMAM, 1024, 13824, 16141, 29965},
+	}
+	for _, tc := range cases {
+		prm := Params{MessageWords: tc.words, OutOfOrder: HalfOutOfOrder(s, tc.words), AckGroup: 1}
+		b, err := Evaluate(tc.proto, s, prm)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		src := b.RoleTotal(cost.Source).Total()
+		dst := b.RoleTotal(cost.Destination).Total()
+		if src != tc.src || dst != tc.dst || src+dst != tc.both {
+			t.Errorf("%s = %d/%d/%d, want %d/%d/%d", tc.name, src, dst, src+dst, tc.src, tc.dst, tc.both)
+		}
+	}
+}
+
+// Section 3.2's qualitative claims hold in the model: in-order delivery and
+// fault tolerance account for ~70% of indefinite-sequence cost regardless of
+// volume, and buffer management dominates small finite transfers.
+func TestModelReproducesProseClaims(t *testing.T) {
+	s := sched(t, 4)
+	for _, words := range []int{16, 1024, 65532} {
+		prm := Params{MessageWords: words, OutOfOrder: HalfOutOfOrder(s, words), AckGroup: 1}
+		b, err := IndefiniteCMAM(s, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oh := b.Overhead()
+		if oh < 0.65 || oh > 0.75 {
+			t.Errorf("indefinite overhead at %d words = %.3f, want ~0.70", words, oh)
+		}
+	}
+	// Group acknowledgements leave overhead significant (~40-50%).
+	prm := Params{MessageWords: 1024, OutOfOrder: 128, AckGroup: 16}
+	b, err := IndefiniteCMAM(s, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh := b.Overhead(); oh < 0.40 || oh > 0.60 {
+		t.Errorf("grouped-ack overhead = %.3f, want 0.40-0.60", oh)
+	}
+	// Large finite transfers: messaging overhead ~10%.
+	fb, err := FiniteCMAM(s, Params{MessageWords: 1024, AckGroup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh := fb.Overhead(); oh < 0.08 || oh > 0.15 {
+		t.Errorf("finite 1024w overhead = %.3f, want ~0.10-0.13", oh)
+	}
+}
+
+// Figure 6: the CR implementations cost the CMAM base (slightly less at the
+// destination), improving finite transfers by 10-50% by size and
+// indefinite transfers by ~70%.
+func TestModelReproducesFigure6(t *testing.T) {
+	s := sched(t, 4)
+	for _, tc := range []struct {
+		words   int
+		loCut   float64 // minimum expected improvement
+		hiCut   float64 // maximum expected improvement
+		protoCM Protocol
+		protoCR Protocol
+	}{
+		{16, 0.45, 0.60, ProtoFiniteCMAM, ProtoFiniteCR},
+		{1024, 0.10, 0.20, ProtoFiniteCMAM, ProtoFiniteCR},
+		{16, 0.65, 0.75, ProtoIndefiniteCMAM, ProtoIndefiniteCR},
+		{1024, 0.65, 0.75, ProtoIndefiniteCMAM, ProtoIndefiniteCR},
+	} {
+		prm := Params{MessageWords: tc.words, OutOfOrder: HalfOutOfOrder(s, tc.words), AckGroup: 1}
+		cm, err := Evaluate(tc.protoCM, s, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := Evaluate(tc.protoCR, s, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improvement := 1 - float64(cr.Total().Total())/float64(cm.Total().Total())
+		if improvement < tc.loCut || improvement > tc.hiCut {
+			t.Errorf("%s->%s at %d words: improvement %.3f outside [%.2f, %.2f]",
+				tc.protoCM, tc.protoCR, tc.words, improvement, tc.loCut, tc.hiCut)
+		}
+		// CR never charges in-order or fault-tolerance software.
+		if !cr.FeatureTotal(cost.InOrder).IsZero() || !cr.FeatureTotal(cost.FaultTol).IsZero() {
+			t.Errorf("%s charges overhead features", tc.protoCR)
+		}
+	}
+}
+
+// Figure 8 (right): for a 1024-word message as packet size goes 4 -> 128,
+// finite overhead stays in single digits to low teens while indefinite
+// overhead remains large (declining from ~70% toward ~50%).
+func TestOverheadSweepFigure8(t *testing.T) {
+	sizes := []int{4, 8, 16, 32, 64, 128}
+	fin, err := OverheadSweep(ProtoFiniteCMAM, 1024, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := OverheadSweep(ProtoIndefiniteCMAM, 1024, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range sizes {
+		if fin[i].PacketWords != n || ind[i].PacketWords != n {
+			t.Fatalf("sweep points out of order")
+		}
+		if fin[i].Overhead < 0.05 || fin[i].Overhead > 0.15 {
+			t.Errorf("finite overhead at n=%d is %.3f, want 0.05-0.15", n, fin[i].Overhead)
+		}
+		if ind[i].Overhead < 0.45 || ind[i].Overhead > 0.72 {
+			t.Errorf("indefinite overhead at n=%d is %.3f, want 0.45-0.72", n, ind[i].Overhead)
+		}
+	}
+	// Overheads decline with packet size but indefinite stays significant.
+	if !(ind[0].Overhead > ind[len(ind)-1].Overhead) {
+		t.Error("indefinite overhead should decline with packet size")
+	}
+	if ind[len(ind)-1].Overhead < 0.40 {
+		t.Error("indefinite overhead should remain significant at n=128")
+	}
+	// Totals shrink as packets get larger (fewer per-packet overheads).
+	if !(fin[0].Total > fin[len(fin)-1].Total) {
+		t.Error("finite total should shrink with packet size")
+	}
+}
+
+// Section 5: an improved (on-chip) NI reduces base cost, which makes the
+// messaging-layer overhead a larger fraction — the paper's paradox.
+func TestImprovedNIRaisesOverheadFraction(t *testing.T) {
+	s := sched(t, 4)
+	im := s.WithImprovedNI(4)
+	prm := Params{MessageWords: 1024, OutOfOrder: 128, AckGroup: 1}
+	base, err := IndefiniteCMAM(s, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := IndefiniteCMAM(im, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.Total().Total() < base.Total().Total()) {
+		t.Error("improved NI should reduce total cost")
+	}
+	if !(fast.Overhead() > base.Overhead()) {
+		t.Errorf("improved NI should raise the overhead fraction: %.3f vs %.3f",
+			fast.Overhead(), base.Overhead())
+	}
+}
+
+// Appendix A's weighted model: with dev accesses at five cycles the
+// overhead fractions shift but the story is unchanged.
+func TestWeightedOverhead(t *testing.T) {
+	s := sched(t, 4)
+	prm := Params{MessageWords: 1024, OutOfOrder: 128, AckGroup: 1}
+	b, err := IndefiniteCMAM(s, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := b.WeightedOverhead(cost.Unit)
+	cm5 := b.WeightedOverhead(cost.CM5)
+	if math.Abs(unit-b.Overhead()) > 1e-12 {
+		t.Errorf("unit-weighted overhead %f != unweighted %f", unit, b.Overhead())
+	}
+	if cm5 < 0.4 || cm5 > 0.8 {
+		t.Errorf("cm5-weighted overhead = %f", cm5)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	s := sched(t, 4)
+	if _, err := FiniteCMAM(s, Params{MessageWords: 0}); err == nil {
+		t.Error("accepted zero-word message")
+	}
+	if _, err := IndefiniteCMAM(s, Params{MessageWords: 16, OutOfOrder: 10}); err == nil {
+		t.Error("accepted more out-of-order packets than packets")
+	}
+	if _, err := IndefiniteCMAM(s, Params{MessageWords: 16, OutOfOrder: -1}); err == nil {
+		t.Error("accepted negative out-of-order count")
+	}
+	if _, err := IndefiniteCMAM(s, Params{MessageWords: 16, AckGroup: -2}); err == nil {
+		t.Error("accepted negative ack group")
+	}
+	if _, err := Evaluate(Protocol(99), s, Params{MessageWords: 16}); err == nil {
+		t.Error("accepted unknown protocol")
+	}
+	if _, err := OverheadSweep(ProtoFiniteCMAM, 1024, []int{3}); err == nil {
+		t.Error("accepted odd packet size in sweep")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	names := map[Protocol]string{
+		ProtoFiniteCMAM:     "finite (CMAM)",
+		ProtoIndefiniteCMAM: "indefinite (CMAM)",
+		ProtoFiniteCR:       "finite (CR)",
+		ProtoIndefiniteCR:   "indefinite (CR)",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if !strings.HasPrefix(Protocol(9).String(), "Protocol(") {
+		t.Error("unknown protocol string")
+	}
+}
+
+func TestFormulaRendersLinearDecomposition(t *testing.T) {
+	s := sched(t, 4)
+	out, err := Formula(ProtoFiniteCMAM, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"finite (CMAM)", "Base Cost", "Buffer Mgmt.", "p*{reg:15 mem:2 dev:5}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Formula output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: the model is exactly linear — evaluating at p packets equals
+// the fixed part plus p times the marginal packet, for every cell and any
+// message size.
+func TestModelLinearityProperty(t *testing.T) {
+	s := sched(t, 4)
+	prop := func(raw uint16, protoRaw uint8) bool {
+		words := int(raw%4096)*4 + 4 // multiples of the packet size
+		proto := Protocol(protoRaw % 4)
+		p := uint64(Packets(s, words))
+		prm := Params{MessageWords: words, OutOfOrder: 0, AckGroup: 1}
+		b, err := Evaluate(proto, s, prm)
+		if err != nil {
+			return false
+		}
+		one, err := Evaluate(proto, s, Params{MessageWords: s.PacketWords, AckGroup: 1})
+		if err != nil {
+			return false
+		}
+		two, err := Evaluate(proto, s, Params{MessageWords: 2 * s.PacketWords, AckGroup: 1})
+		if err != nil {
+			return false
+		}
+		perPkt := two.Total().Sub(one.Total())
+		fixed := one.Total().Sub(perPkt)
+		return b.Total() == fixed.Add(perPkt.Scale(p))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Protocol selection crossover: for one-packet messages the
+// indefinite-sequence protocol (no handshake) is cheaper, but the finite
+// protocol's fixed costs amortize within a few packets — the crossover
+// falls between one and four packets at n = 4.
+func TestProtocolCrossover(t *testing.T) {
+	s := sched(t, 4)
+	// Sanity: at 4 words finite is more expensive than indefinite.
+	one := Params{MessageWords: 4, OutOfOrder: 0, AckGroup: 1}
+	fin, err := FiniteCMAM(s, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := IndefiniteCMAM(s, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Total().Total() <= ind.Total().Total() {
+		t.Fatalf("expected indefinite to win at one packet: finite %d vs indefinite %d",
+			fin.Total().Total(), ind.Total().Total())
+	}
+
+	words, ok := CrossoverWords(ProtoFiniteCMAM, ProtoIndefiniteCMAM, s, 4096)
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	if words <= 4 || words > 16 {
+		t.Errorf("finite/indefinite crossover at %d words, expected within (4, 16]", words)
+	}
+	// At and beyond the crossover, finite stays cheaper (per-packet
+	// advantage grows with size).
+	for _, w := range []int{words, 64, 1024} {
+		prm := Params{MessageWords: w, OutOfOrder: HalfOutOfOrder(s, w), AckGroup: 1}
+		f, _ := FiniteCMAM(s, prm)
+		i, _ := IndefiniteCMAM(s, prm)
+		if f.Total().Total() > i.Total().Total() {
+			t.Errorf("finite more expensive at %d words", w)
+		}
+	}
+	// CR stream beats everything at any size; no crossover against it.
+	if _, ok := CrossoverWords(ProtoFiniteCMAM, ProtoIndefiniteCR, s, 1024); ok {
+		t.Error("CMAM finite should never undercut the CR stream")
+	}
+}

@@ -1,0 +1,599 @@
+package collectives
+
+import (
+	"testing"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/ctrlnet"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+)
+
+// cluster builds an n-node machine with a communicator per node.
+func cluster(t *testing.T, nodes int, cfg network.CM5Config) (*machine.Machine, []*Comm) {
+	t.Helper()
+	cfg.Nodes = nodes
+	m := machine.MustNew(network.MustCM5Net(cfg), cost.MustPaperSchedule(4))
+	comms := make([]*Comm, nodes)
+	for i := 0; i < nodes; i++ {
+		c, err := New(cmam.NewEndpoint(m.Node(i)), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[i] = c
+	}
+	return m, comms
+}
+
+// drive pumps all communicators until done reports true.
+func drive(t *testing.T, comms []*Comm, done func() bool) {
+	t.Helper()
+	steppers := make([]machine.Stepper, len(comms))
+	for i, c := range comms {
+		steppers[i] = c.Stepper(done)
+	}
+	if err := machine.Run(100000, steppers...); err != nil {
+		t.Fatal(err)
+	}
+	if !done() {
+		t.Fatal("collective did not complete")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	m := machine.MustNew(network.MustCM5Net(network.CM5Config{Nodes: 1}), cost.MustPaperSchedule(4))
+	if _, err := New(cmam.NewEndpoint(m.Node(0)), 0); err == nil {
+		t.Error("accepted zero-size communicator")
+	}
+}
+
+func TestRankAndSize(t *testing.T) {
+	_, comms := cluster(t, 3, network.CM5Config{})
+	for i, c := range comms {
+		if c.Rank() != i || c.Size() != 3 {
+			t.Errorf("comm %d: rank=%d size=%d", i, c.Rank(), c.Size())
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	_, comms := cluster(t, 5, network.CM5Config{})
+	preds := make([]func() bool, len(comms))
+	for i, c := range comms {
+		p, err := c.BarrierBegin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if !p() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestBarrierRepeats(t *testing.T) {
+	_, comms := cluster(t, 3, network.CM5Config{})
+	for round := 0; round < 4; round++ {
+		preds := make([]func() bool, len(comms))
+		for i, c := range comms {
+			p, err := c.BarrierBegin()
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			preds[i] = p
+		}
+		drive(t, comms, func() bool {
+			for _, p := range preds {
+				if !p() {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	const nodes = 6
+	_, comms := cluster(t, nodes, network.CM5Config{})
+	preds := make([]func() (network.Word, bool), nodes)
+	want := network.Word(0)
+	for i, c := range comms {
+		v := network.Word((i + 1) * 10)
+		want += v
+		p, err := c.ReduceBegin(v, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	for i, p := range preds {
+		got, ok := p()
+		if !ok || got != want {
+			t.Errorf("rank %d: reduce = %d, %v; want %d", i, got, ok, want)
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	_, comms := cluster(t, 4, network.CM5Config{})
+	values := []network.Word{3, 99, 7, 12}
+	preds := make([]func() (network.Word, bool), len(comms))
+	for i, c := range comms {
+		p, err := c.ReduceBegin(values[i], Max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	for i, p := range preds {
+		if got, _ := p(); got != 99 {
+			t.Errorf("rank %d: max = %d", i, got)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const nodes = 4
+	_, comms := cluster(t, nodes, network.CM5Config{})
+	data := make([]network.Word, 64)
+	for i := range data {
+		data[i] = network.Word(i * 2)
+	}
+	rootDone, err := comms[0].BroadcastBegin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafPreds := make([]func() ([]network.Word, bool), 0, nodes-1)
+	for _, c := range comms[1:] {
+		leafPreds = append(leafPreds, c.BroadcastRecv())
+	}
+	drive(t, comms, func() bool {
+		if !rootDone() {
+			return false
+		}
+		for _, p := range leafPreds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	// BroadcastRecv consumes on success, so re-running the predicates
+	// after drive would report false; collect during a final check.
+	// Instead verify via fresh receive state: each leaf already consumed
+	// its payload inside drive's last done() call, so repeat delivery
+	// checks use the captured values below.
+	_ = leafPreds
+}
+
+func TestBroadcastDeliversPayload(t *testing.T) {
+	const nodes = 3
+	_, comms := cluster(t, nodes, network.CM5Config{})
+	data := []network.Word{5, 6, 7, 8, 9}
+	rootDone, err := comms[0].BroadcastBegin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]network.Word, nodes)
+	preds := make([]func() ([]network.Word, bool), nodes)
+	for i, c := range comms[1:] {
+		preds[i+1] = c.BroadcastRecv()
+	}
+	drive(t, comms, func() bool {
+		if !rootDone() {
+			return false
+		}
+		for i := 1; i < nodes; i++ {
+			if got[i] == nil {
+				if data, ok := preds[i](); ok {
+					got[i] = data
+				} else {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for i := 1; i < nodes; i++ {
+		if len(got[i]) != len(data) {
+			t.Fatalf("rank %d got %d words", i, len(got[i]))
+		}
+		for j := range data {
+			if got[i][j] != data[j] {
+				t.Errorf("rank %d word %d = %d", i, j, got[i][j])
+			}
+		}
+	}
+}
+
+func TestBroadcastBeginRejectsNonRoot(t *testing.T) {
+	_, comms := cluster(t, 2, network.CM5Config{})
+	if _, err := comms[1].BroadcastBegin([]network.Word{1}); err == nil {
+		t.Error("non-root broadcast accepted")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	const nodes = 4
+	const blockWords = 16
+	_, comms := cluster(t, nodes, network.CM5Config{})
+
+	blocks := make([][]network.Word, nodes)
+	for r := range blocks {
+		blocks[r] = make([]network.Word, blockWords)
+		for i := range blocks[r] {
+			blocks[r][i] = network.Word(r*1000 + i)
+		}
+	}
+
+	// Scatter.
+	rootPred, err := comms[0].ScatterBegin(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafBlocks := make([][]network.Word, nodes)
+	leafPreds := make([]func() ([]network.Word, bool), nodes)
+	for r := 1; r < nodes; r++ {
+		leafPreds[r] = comms[r].BroadcastRecv()
+	}
+	drive(t, comms, func() bool {
+		if b, ok := rootPred(); ok {
+			leafBlocks[0] = b
+		} else {
+			return false
+		}
+		for r := 1; r < nodes; r++ {
+			if leafBlocks[r] == nil {
+				if b, ok := leafPreds[r](); ok {
+					leafBlocks[r] = b
+				} else {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for r := 0; r < nodes; r++ {
+		for i := range leafBlocks[r] {
+			if leafBlocks[r][i] != network.Word(r*1000+i) {
+				t.Fatalf("scatter rank %d word %d = %d", r, i, leafBlocks[r][i])
+			}
+		}
+	}
+
+	// Each rank doubles its block, then gathers back to root.
+	for r := 0; r < nodes; r++ {
+		for i := range leafBlocks[r] {
+			leafBlocks[r][i] *= 2
+		}
+	}
+	gatherDone := make([]func() bool, nodes)
+	for r := 1; r < nodes; r++ {
+		p, err := comms[r].GatherBegin(leafBlocks[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gatherDone[r] = p
+	}
+	rootGather := comms[0].GatherRecv()
+	var collected map[int][]network.Word
+	drive(t, comms, func() bool {
+		for r := 1; r < nodes; r++ {
+			if !gatherDone[r]() {
+				return false
+			}
+		}
+		if collected == nil {
+			if m, ok := rootGather(); ok {
+				collected = m
+			} else {
+				return false
+			}
+		}
+		return true
+	})
+	for r := 1; r < nodes; r++ {
+		block := collected[r]
+		if len(block) != blockWords {
+			t.Fatalf("gathered rank %d has %d words", r, len(block))
+		}
+		for i := range block {
+			if block[i] != network.Word(r*1000+i)*2 {
+				t.Errorf("gathered rank %d word %d = %d", r, i, block[i])
+			}
+		}
+	}
+}
+
+func TestScatterValidates(t *testing.T) {
+	_, comms := cluster(t, 3, network.CM5Config{})
+	if _, err := comms[1].ScatterBegin(nil); err == nil {
+		t.Error("non-root scatter accepted")
+	}
+	if _, err := comms[0].ScatterBegin(make([][]network.Word, 2)); err == nil {
+		t.Error("wrong block count accepted")
+	}
+}
+
+func TestGatherBeginRejectsRoot(t *testing.T) {
+	_, comms := cluster(t, 2, network.CM5Config{})
+	if _, err := comms[0].GatherBegin([]network.Word{1}); err == nil {
+		t.Error("root gather-begin accepted")
+	}
+}
+
+// The reduce cost has a closed form over the calibrated schedule: 2(size-1)
+// single-packet round trips = 2(size-1)(20+27) instructions machine-wide.
+func TestReduceCostClosedForm(t *testing.T) {
+	const nodes = 5
+	m, comms := cluster(t, nodes, network.CM5Config{})
+	preds := make([]func() (network.Word, bool), nodes)
+	for i, c := range comms {
+		p, err := c.ReduceBegin(1, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	// (size-1) arrivals + (size-1) result messages, each one AM4 send (20)
+	// + one polled reception (27).
+	want := uint64(2 * (nodes - 1) * 47)
+	if got := m.TotalGauge().Total().Total(); got != want {
+		t.Errorf("reduce cost = %d, want %d", got, want)
+	}
+}
+
+// Collectives survive the network reordering the paper's substrate
+// exhibits: bulk payloads ride the finite-sequence protocol, whose carried
+// offsets are order-immune.
+func TestBroadcastUnderReordering(t *testing.T) {
+	const nodes = 3
+	_, comms := cluster(t, nodes, network.CM5Config{Reorder: network.WindowShuffle(5, 77)})
+	data := make([]network.Word, 32)
+	for i := range data {
+		data[i] = network.Word(i)
+	}
+	rootDone, err := comms[0].BroadcastBegin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]func() ([]network.Word, bool), nodes)
+	got := make([][]network.Word, nodes)
+	for i, c := range comms[1:] {
+		preds[i+1] = c.BroadcastRecv()
+	}
+	drive(t, comms, func() bool {
+		if !rootDone() {
+			return false
+		}
+		for r := 1; r < nodes; r++ {
+			if got[r] == nil {
+				if b, ok := preds[r](); ok {
+					got[r] = b
+				} else {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for r := 1; r < nodes; r++ {
+		for i := range data {
+			if got[r][i] != data[i] {
+				t.Fatalf("rank %d word %d corrupted under reordering", r, i)
+			}
+		}
+	}
+}
+
+// Hardware all-reduce through the control network: exact result, and the
+// whole machine pays a handful of device accesses per node instead of
+// 2(size-1) single-packet round trips.
+func TestHWReduce(t *testing.T) {
+	const nodes = 8
+	m, comms := cluster(t, nodes, network.CM5Config{})
+	cn := ctrlnet.MustNew(nodes, 4)
+	for _, c := range comms {
+		if err := c.AttachControlNetwork(cn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds := make([]func() (network.Word, bool), nodes)
+	var want network.Word
+	for i, c := range comms {
+		v := network.Word(i * i)
+		want += v
+		p, err := c.HWReduceBegin(v, ctrlnet.OpSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	for i, p := range preds {
+		if got, _ := p(); got != want {
+			t.Errorf("rank %d hw reduce = %d, want %d", i, got, want)
+		}
+	}
+	// Cost closed form: per node, one contribute (4 instr) + one result
+	// poll (3 instr); zero network packets.
+	wantCost := uint64(nodes * 7)
+	if got := m.TotalGauge().Total().Total(); got != wantCost {
+		t.Errorf("hw reduce machine cost = %d, want %d", got, wantCost)
+	}
+	if m.Net.Stats().Injected != 0 {
+		t.Error("hardware reduce used the data network")
+	}
+}
+
+func TestHWBarrier(t *testing.T) {
+	const nodes = 5
+	_, comms := cluster(t, nodes, network.CM5Config{})
+	cn := ctrlnet.MustNew(nodes, 2)
+	for _, c := range comms {
+		if err := c.AttachControlNetwork(cn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds := make([]func() bool, nodes)
+	for i, c := range comms {
+		p, err := c.HWBarrierBegin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if !p() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestHWReduceRequiresAttachment(t *testing.T) {
+	_, comms := cluster(t, 2, network.CM5Config{})
+	if _, err := comms[0].HWReduceBegin(1, ctrlnet.OpSum); err == nil {
+		t.Error("hw reduce without control network accepted")
+	}
+	cn := ctrlnet.MustNew(3, 2) // wrong size
+	if err := comms[0].AttachControlNetwork(cn); err == nil {
+		t.Error("attached mismatched control network")
+	}
+}
+
+// Software and hardware reduce agree on the result; the hardware path is
+// drastically cheaper and the gap grows with machine size.
+func TestHWReduceVsSoftwareCost(t *testing.T) {
+	for _, nodes := range []int{4, 16} {
+		mSW, sw := cluster(t, nodes, network.CM5Config{})
+		preds := make([]func() (network.Word, bool), nodes)
+		for i, c := range sw {
+			p, err := c.ReduceBegin(network.Word(i), Sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds[i] = p
+		}
+		drive(t, sw, func() bool {
+			for _, p := range preds {
+				if _, ok := p(); !ok {
+					return false
+				}
+			}
+			return true
+		})
+		swCost := mSW.TotalGauge().Total().Total()
+		wantSW := uint64(2 * (nodes - 1) * 47)
+		if swCost != wantSW {
+			t.Fatalf("nodes=%d software reduce = %d, want %d", nodes, swCost, wantSW)
+		}
+
+		mHW, hw := cluster(t, nodes, network.CM5Config{})
+		cn := ctrlnet.MustNew(nodes, 4)
+		hpreds := make([]func() (network.Word, bool), nodes)
+		for i, c := range hw {
+			if err := c.AttachControlNetwork(cn); err != nil {
+				t.Fatal(err)
+			}
+			p, err := c.HWReduceBegin(network.Word(i), ctrlnet.OpSum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hpreds[i] = p
+		}
+		drive(t, hw, func() bool {
+			for _, p := range hpreds {
+				if _, ok := p(); !ok {
+					return false
+				}
+			}
+			return true
+		})
+		hwCost := mHW.TotalGauge().Total().Total()
+		if hwCost != uint64(nodes*7) {
+			t.Fatalf("nodes=%d hardware reduce = %d", nodes, hwCost)
+		}
+		if hwCost*4 > swCost {
+			t.Errorf("nodes=%d: hardware reduce (%d) not dramatically cheaper than software (%d)",
+				nodes, hwCost, swCost)
+		}
+	}
+}
+
+// Hardware scan: rank i receives the inclusive prefix sum of all ranks'
+// contributions — the CM-5 enumeration idiom.
+func TestHWScan(t *testing.T) {
+	const nodes = 6
+	_, comms := cluster(t, nodes, network.CM5Config{})
+	cn := ctrlnet.MustNew(nodes, 4)
+	preds := make([]func() (network.Word, bool), nodes)
+	for i, c := range comms {
+		if err := c.AttachControlNetwork(cn); err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.HWScanBegin(1, ctrlnet.OpSum) // enumerate: rank i gets i+1
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	drive(t, comms, func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	for i, p := range preds {
+		if got, _ := p(); got != network.Word(i+1) {
+			t.Errorf("rank %d scan = %d, want %d", i, got, i+1)
+		}
+	}
+	// Without a control network the call is refused.
+	_, bare := cluster(t, 2, network.CM5Config{})
+	if _, err := bare[0].HWScanBegin(1, ctrlnet.OpSum); err == nil {
+		t.Error("scan without control network accepted")
+	}
+}

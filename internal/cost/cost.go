@@ -1,0 +1,190 @@
+// Package cost implements the instruction-count accounting methodology of
+// Karamcheti & Chien, "Software Overhead in Messaging Layers: Where Does the
+// Time Go?" (ASPLOS 1994).
+//
+// The paper measures communication cost as dynamic instruction counts of the
+// messaging software, classifying every instruction along three axes:
+//
+//   - Role: whether the instruction executes on the source or the
+//     destination node of a transfer.
+//   - Feature: which messaging-layer service the instruction pays for —
+//     the base cost of data movement and network-interface access, buffer
+//     management (deadlock/overflow safety), in-order delivery, or
+//     fault tolerance (reliable delivery).
+//   - Category: the cost hierarchy of Appendix A — register operations
+//     (reg), loads/stores to memory (mem), and loads/stores to
+//     memory-mapped devices such as the network interface (dev).
+//
+// A Gauge accumulates counts along all three axes plus the finer
+// subcategories of Table 1 (call/return, NI setup, writes to the NI, ...).
+// A Model assigns per-category cycle weights, turning counts into the
+// weighted cycle estimates discussed in Appendix A (e.g. dev = 5 cycles on
+// the CM-5).
+package cost
+
+import "fmt"
+
+// Category is the Appendix A cost-hierarchy class of an instruction.
+type Category uint8
+
+const (
+	// Reg counts register-based instructions.
+	Reg Category = iota
+	// Mem counts loads and stores to ordinary memory.
+	Mem
+	// Dev counts loads and stores to memory-mapped devices (the NI).
+	Dev
+
+	// NumCategories is the number of instruction categories.
+	NumCategories = 3
+)
+
+// String returns the paper's abbreviation for the category.
+func (c Category) String() string {
+	switch c {
+	case Reg:
+		return "reg"
+	case Mem:
+		return "mem"
+	case Dev:
+		return "dev"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// Feature is the messaging-layer service an instruction is attributed to.
+// The features correspond one-to-one to the network-feature gaps of the
+// paper's Figure 1: arbitrary delivery order forces in-order delivery
+// software, finite buffering forces buffer management, and fault detection
+// without correction forces fault-tolerance software.
+type Feature uint8
+
+const (
+	// Base is the unavoidable cost of data movement and NI access.
+	Base Feature = iota
+	// BufferMgmt pays for deadlock/overflow safety (buffer preallocation,
+	// segment association, deallocation).
+	BufferMgmt
+	// InOrder pays for in-order delivery (sequencing, offsets, reorder
+	// buffering of out-of-order arrivals).
+	InOrder
+	// FaultTol pays for reliable delivery (source buffering of in-flight
+	// data, acknowledgements, retransmission).
+	FaultTol
+
+	// NumFeatures is the number of cost features.
+	NumFeatures = 4
+)
+
+// String returns the paper's row label for the feature.
+func (f Feature) String() string {
+	switch f {
+	case Base:
+		return "Base Cost"
+	case BufferMgmt:
+		return "Buffer Mgmt."
+	case InOrder:
+		return "In-order Del."
+	case FaultTol:
+		return "Fault-toler."
+	default:
+		return fmt.Sprintf("Feature(%d)", uint8(f))
+	}
+}
+
+// Role distinguishes the two ends of a transfer.
+type Role uint8
+
+const (
+	// Source is the sending end of the transfer being accounted.
+	Source Role = iota
+	// Destination is the receiving end of the transfer being accounted.
+	Destination
+
+	// NumRoles is the number of roles.
+	NumRoles = 2
+)
+
+// String returns the paper's column label for the role.
+func (r Role) String() string {
+	switch r {
+	case Source:
+		return "Source"
+	case Destination:
+		return "Destination"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Sub is the fine-grained subcategory used by Table 1 to break down
+// single-packet delivery cost.
+type Sub uint8
+
+const (
+	// SubCallRet counts call and return instructions.
+	SubCallRet Sub = iota
+	// SubNISetup counts instructions preparing NI operands (addresses,
+	// tags, destination node numbers) in registers.
+	SubNISetup
+	// SubNIWrite counts stores to the NI send buffer.
+	SubNIWrite
+	// SubNIRead counts loads from the NI receive buffer.
+	SubNIRead
+	// SubNIStatus counts loads of NI control/status registers and the
+	// register instructions testing them.
+	SubNIStatus
+	// SubControlFlow counts branches and loop bookkeeping.
+	SubControlFlow
+	// SubDataMove counts loads/stores moving user data up and down the
+	// memory hierarchy.
+	SubDataMove
+	// SubBookkeeping counts protocol bookkeeping (sequence numbers,
+	// counters, segment tables, reorder buffers).
+	SubBookkeeping
+
+	// NumSubs is the number of subcategories.
+	NumSubs = 8
+)
+
+// String returns the Table 1 row label for the subcategory.
+func (s Sub) String() string {
+	switch s {
+	case SubCallRet:
+		return "Call/Return"
+	case SubNISetup:
+		return "NI setup"
+	case SubNIWrite:
+		return "Write to NI"
+	case SubNIRead:
+		return "Read from NI"
+	case SubNIStatus:
+		return "Check NI status"
+	case SubControlFlow:
+		return "Control flow"
+	case SubDataMove:
+		return "Data movement"
+	case SubBookkeeping:
+		return "Bookkeeping"
+	default:
+		return fmt.Sprintf("Sub(%d)", uint8(s))
+	}
+}
+
+// Categories lists all instruction categories in display order.
+func Categories() []Category { return []Category{Reg, Mem, Dev} }
+
+// Features lists all cost features in the paper's display order.
+func Features() []Feature { return []Feature{Base, BufferMgmt, InOrder, FaultTol} }
+
+// Roles lists both roles in display order.
+func Roles() []Role { return []Role{Source, Destination} }
+
+// Subs lists all subcategories in Table 1 display order.
+func Subs() []Sub {
+	return []Sub{
+		SubCallRet, SubNISetup, SubNIWrite, SubNIRead,
+		SubNIStatus, SubControlFlow, SubDataMove, SubBookkeeping,
+	}
+}

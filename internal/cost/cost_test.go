@@ -1,0 +1,62 @@
+package cost
+
+import "testing"
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{Reg: "reg", Mem: "mem", Dev: "dev"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if got := Category(9).String(); got != "Category(9)" {
+		t.Errorf("unknown category = %q", got)
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	want := map[Feature]string{
+		Base:       "Base Cost",
+		BufferMgmt: "Buffer Mgmt.",
+		InOrder:    "In-order Del.",
+		FaultTol:   "Fault-toler.",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("Feature(%d).String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if got := Feature(9).String(); got != "Feature(9)" {
+		t.Errorf("unknown feature = %q", got)
+	}
+}
+
+func TestRoleAndSubStrings(t *testing.T) {
+	if Source.String() != "Source" || Destination.String() != "Destination" {
+		t.Errorf("role strings wrong: %q, %q", Source, Destination)
+	}
+	if Role(7).String() != "Role(7)" {
+		t.Errorf("unknown role = %q", Role(7))
+	}
+	if SubCallRet.String() != "Call/Return" || SubNIStatus.String() != "Check NI status" {
+		t.Errorf("sub strings wrong")
+	}
+	if Sub(99).String() != "Sub(99)" {
+		t.Errorf("unknown sub = %q", Sub(99))
+	}
+}
+
+func TestEnumerationsCoverAllValues(t *testing.T) {
+	if len(Categories()) != NumCategories {
+		t.Errorf("Categories() has %d entries, want %d", len(Categories()), NumCategories)
+	}
+	if len(Features()) != NumFeatures {
+		t.Errorf("Features() has %d entries, want %d", len(Features()), NumFeatures)
+	}
+	if len(Roles()) != NumRoles {
+		t.Errorf("Roles() has %d entries, want %d", len(Roles()), NumRoles)
+	}
+	if len(Subs()) != NumSubs {
+		t.Errorf("Subs() has %d entries, want %d", len(Subs()), NumSubs)
+	}
+}

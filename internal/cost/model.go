@@ -1,0 +1,32 @@
+package cost
+
+import "fmt"
+
+// Model assigns per-category cycle weights, the "simple weighted cost model"
+// of Appendix A. The paper's body uses the unit model (every instruction
+// costs one); Appendix A suggests a CM-5 model in which dev accesses cost
+// five cycles.
+type Model struct {
+	Name string
+	Reg  uint64
+	Mem  uint64
+	Dev  uint64
+}
+
+// Unit is the model used throughout the body of the paper: all instructions
+// have unit cost.
+var Unit = Model{Name: "unit", Reg: 1, Mem: 1, Dev: 1}
+
+// CM5 is the Appendix A example model for the CM-5: reg and mem instructions
+// cost one cycle, a dev access costs five.
+var CM5 = Model{Name: "cm5", Reg: 1, Mem: 1, Dev: 5}
+
+// Cost returns the weighted cost of a count vector under the model.
+func (m Model) Cost(v Vec) uint64 {
+	return v.Reg*m.Reg + v.Mem*m.Mem + v.Dev*m.Dev
+}
+
+// String identifies the model and its weights.
+func (m Model) String() string {
+	return fmt.Sprintf("%s(reg=%d mem=%d dev=%d)", m.Name, m.Reg, m.Mem, m.Dev)
+}

@@ -1,0 +1,37 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelCost(t *testing.T) {
+	v := V(10, 20, 30)
+	if got := Unit.Cost(v); got != 60 {
+		t.Errorf("unit cost = %d, want 60", got)
+	}
+	if got := CM5.Cost(v); got != 10+20+150 {
+		t.Errorf("cm5 cost = %d, want 180", got)
+	}
+}
+
+// Appendix A's worked point: under the CM-5 model a dev access costs five
+// cycles, so the single-packet source path (17 reg + 3 dev) costs 32 cycles
+// while the unit model reports 20 instructions.
+func TestModelOnSinglePacketPath(t *testing.T) {
+	s := MustPaperSchedule(4)
+	v := s.SendSingle.Vec()
+	if got := Unit.Cost(v); got != 20 {
+		t.Errorf("unit = %d", got)
+	}
+	if got := CM5.Cost(v); got != 17+3*5 {
+		t.Errorf("cm5 = %d, want 32", got)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	s := CM5.String()
+	if !strings.Contains(s, "cm5") || !strings.Contains(s, "dev=5") {
+		t.Errorf("String = %q", s)
+	}
+}

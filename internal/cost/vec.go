@@ -1,0 +1,100 @@
+package cost
+
+import "fmt"
+
+// Vec is an instruction count broken down by category. It is the unit in
+// which Appendix A reports costs and in which the calibration schedule
+// expresses per-event charges.
+type Vec struct {
+	Reg uint64
+	Mem uint64
+	Dev uint64
+}
+
+// V constructs a Vec; a convenience for schedule literals.
+func V(reg, mem, dev uint64) Vec { return Vec{Reg: reg, Mem: mem, Dev: dev} }
+
+// Total returns the unit-cost total (every instruction costs 1), the simple
+// model used throughout the body of the paper.
+func (v Vec) Total() uint64 { return v.Reg + v.Mem + v.Dev }
+
+// Add returns the element-wise sum of v and w.
+func (v Vec) Add(w Vec) Vec {
+	return Vec{Reg: v.Reg + w.Reg, Mem: v.Mem + w.Mem, Dev: v.Dev + w.Dev}
+}
+
+// Sub returns the element-wise difference v - w. It panics if any component
+// would underflow, which in this codebase always indicates an accounting bug.
+func (v Vec) Sub(w Vec) Vec {
+	if w.Reg > v.Reg || w.Mem > v.Mem || w.Dev > v.Dev {
+		panic(fmt.Sprintf("cost: Vec underflow: %v - %v", v, w))
+	}
+	return Vec{Reg: v.Reg - w.Reg, Mem: v.Mem - w.Mem, Dev: v.Dev - w.Dev}
+}
+
+// Scale returns v with every component multiplied by k.
+func (v Vec) Scale(k uint64) Vec {
+	return Vec{Reg: v.Reg * k, Mem: v.Mem * k, Dev: v.Dev * k}
+}
+
+// Get returns the count for a single category.
+func (v Vec) Get(c Category) uint64 {
+	switch c {
+	case Reg:
+		return v.Reg
+	case Mem:
+		return v.Mem
+	case Dev:
+		return v.Dev
+	default:
+		panic(fmt.Sprintf("cost: unknown category %d", c))
+	}
+}
+
+// IsZero reports whether all components are zero.
+func (v Vec) IsZero() bool { return v.Reg == 0 && v.Mem == 0 && v.Dev == 0 }
+
+// String renders the vector in Appendix A column order.
+func (v Vec) String() string {
+	return fmt.Sprintf("{reg:%d mem:%d dev:%d}", v.Reg, v.Mem, v.Dev)
+}
+
+// Item is a single charge: N instructions of one category, attributed to a
+// Table 1 subcategory. Charges issued by the messaging layers are bundles of
+// Items.
+type Item struct {
+	Cat Category
+	Sub Sub
+	N   uint64
+}
+
+// Items is a charge bundle: the instructions one protocol event executes.
+type Items []Item
+
+// Vec collapses the bundle into a per-category vector.
+func (it Items) Vec() Vec {
+	var v Vec
+	for _, i := range it {
+		switch i.Cat {
+		case Reg:
+			v.Reg += i.N
+		case Mem:
+			v.Mem += i.N
+		case Dev:
+			v.Dev += i.N
+		}
+	}
+	return v
+}
+
+// Total returns the unit-cost total of the bundle.
+func (it Items) Total() uint64 { return it.Vec().Total() }
+
+// Append returns the concatenation of bundles; nil-safe.
+func (it Items) Append(more ...Items) Items {
+	out := it
+	for _, m := range more {
+		out = append(out, m...)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(10, 20, 30)
+	if got := a.Add(b); got != V(11, 22, 33) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != V(9, 18, 27) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(4); got != V(4, 8, 12) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Total(); got != 6 {
+		t.Errorf("Total = %d", got)
+	}
+}
+
+func TestVecSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on underflow")
+		}
+	}()
+	V(1, 0, 0).Sub(V(2, 0, 0))
+}
+
+func TestVecGet(t *testing.T) {
+	v := V(5, 6, 7)
+	if v.Get(Reg) != 5 || v.Get(Mem) != 6 || v.Get(Dev) != 7 {
+		t.Errorf("Get mismatch: %v", v)
+	}
+}
+
+func TestVecGetUnknownCategoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown category")
+		}
+	}()
+	V(0, 0, 0).Get(Category(12))
+}
+
+func TestVecIsZeroAndString(t *testing.T) {
+	if !V(0, 0, 0).IsZero() {
+		t.Error("zero vec not zero")
+	}
+	if V(0, 1, 0).IsZero() {
+		t.Error("nonzero vec reported zero")
+	}
+	if got := V(1, 2, 3).String(); got != "{reg:1 mem:2 dev:3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Vec addition is commutative and associative, and Scale distributes over
+// Add — the algebraic properties the linear cost model relies on.
+func TestVecAlgebraProperties(t *testing.T) {
+	clamp := func(v Vec) Vec {
+		// Keep components small enough that no sum or product overflows.
+		const m = 1 << 20
+		return Vec{v.Reg % m, v.Mem % m, v.Dev % m}
+	}
+	commutes := func(a, b Vec) bool {
+		a, b = clamp(a), clamp(b)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+	associates := func(a, b, c Vec) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		return a.Add(b).Add(c) == a.Add(b.Add(c))
+	}
+	if err := quick.Check(associates, nil); err != nil {
+		t.Error(err)
+	}
+	distributes := func(a, b Vec, k uint16) bool {
+		a, b = clamp(a), clamp(b)
+		return a.Add(b).Scale(uint64(k)) == a.Scale(uint64(k)).Add(b.Scale(uint64(k)))
+	}
+	if err := quick.Check(distributes, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemsVecAndTotal(t *testing.T) {
+	it := Items{
+		{Reg, SubCallRet, 3},
+		{Mem, SubDataMove, 2},
+		{Dev, SubNIWrite, 4},
+		{Reg, SubControlFlow, 1},
+	}
+	if got := it.Vec(); got != V(4, 2, 4) {
+		t.Errorf("Vec = %v", got)
+	}
+	if got := it.Total(); got != 10 {
+		t.Errorf("Total = %d", got)
+	}
+}
+
+func TestItemsAppend(t *testing.T) {
+	a := Items{{Reg, SubCallRet, 1}}
+	b := Items{{Mem, SubDataMove, 2}}
+	got := Items(nil).Append(a, b, nil)
+	if len(got) != 2 || got.Total() != 3 {
+		t.Errorf("Append = %v", got)
+	}
+}

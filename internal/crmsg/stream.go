@@ -1,0 +1,184 @@
+package crmsg
+
+import (
+	"errors"
+	"fmt"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/network"
+)
+
+// StreamConfig tunes a CR stream service.
+type StreamConfig struct {
+	// OnDeliver is the user handler invoked, in transmission order, for
+	// every delivered packet. Order and reliability are hardware
+	// guarantees here, so the software adds nothing to get them.
+	OnDeliver func(src int, ch uint8, data []network.Word)
+}
+
+// Stream is the per-node CR indefinite-sequence service (Figure 7): the
+// protocol is "implemented essentially for free on top of multiple
+// single-packet transmissions" — no sequence numbers, no reorder buffering,
+// no source buffering, no acknowledgements.
+type Stream struct {
+	ep  *cmam.Endpoint
+	cfg StreamConfig
+
+	out  map[connKey]*Conn
+	seen map[connKey]bool // receiver channels whose fixed cost is charged
+}
+
+type connKey struct {
+	peer int
+	ch   uint8
+}
+
+// Conn is the source side of one CR channel.
+type Conn struct {
+	s      *Stream
+	dst    int
+	ch     uint8
+	sendq  [][]network.Word // packets awaiting injection after backpressure
+	sent   uint64
+	closed bool
+}
+
+// NewStream installs the CR stream protocol on an endpoint.
+func NewStream(ep *cmam.Endpoint, cfg StreamConfig) (*Stream, error) {
+	s := &Stream{
+		ep:   ep,
+		cfg:  cfg,
+		out:  make(map[connKey]*Conn),
+		seen: make(map[connKey]bool),
+	}
+	if err := ep.RegisterTag(TagStream, s.sink); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNewStream is NewStream that panics on error.
+func MustNewStream(ep *cmam.Endpoint, cfg StreamConfig) *Stream {
+	s, err := NewStream(ep, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Stream) sched() *cost.Schedule { return s.ep.Node().Sched }
+
+// Open returns the source side of channel ch toward dst.
+func (s *Stream) Open(dst int, ch uint8) *Conn {
+	key := connKey{dst, ch}
+	if c, ok := s.out[key]; ok {
+		return c
+	}
+	c := &Conn{s: s, dst: dst, ch: ch}
+	s.out[key] = c
+	return c
+}
+
+// Send transmits one packet's worth of data. On this substrate a
+// successful injection is a delivery guarantee, so there is nothing to
+// buffer and nothing to wait for.
+func (c *Conn) Send(data ...network.Word) error {
+	if c.closed {
+		return errors.New("crmsg: send on closed stream")
+	}
+	if len(data) == 0 || len(data) > c.s.sched().PacketWords {
+		return fmt.Errorf("crmsg: stream send of %d words (packet payload is %d)",
+			len(data), c.s.sched().PacketWords)
+	}
+	node := c.s.ep.Node()
+	node.Charge(cost.Base, c.s.sched().CRStreamSend)
+	if len(c.sendq) > 0 {
+		// Preserve injection order behind backpressured packets.
+		buf := make([]network.Word, len(data))
+		copy(buf, data)
+		c.sendq = append(c.sendq, buf)
+		return nil
+	}
+	err := c.inject(data)
+	if errors.Is(err, network.ErrBackpressure) {
+		node.Charge(cost.Base, retryProbe)
+		buf := make([]network.Word, len(data))
+		copy(buf, data)
+		c.sendq = append(c.sendq, buf)
+		return nil
+	}
+	return err
+}
+
+func (c *Conn) inject(data []network.Word) error {
+	err := c.s.ep.Send(c.dst, TagStream, network.Word(c.ch), data, cost.Base, nil)
+	if err == nil {
+		c.sent++
+		c.s.ep.Node().Event("crstream.packet.sent")
+	}
+	return err
+}
+
+// Idle reports whether every send has been injected.
+func (c *Conn) Idle() bool { return len(c.sendq) == 0 }
+
+// Sent returns the number of packets injected so far.
+func (c *Conn) Sent() uint64 { return c.sent }
+
+// Close marks the channel closed for further sends.
+func (c *Conn) Close() { c.closed = true }
+
+// Pump polls for incoming packets and retries backpressured injections.
+func (s *Stream) Pump() error {
+	if _, err := s.ep.Poll(0); err != nil {
+		return err
+	}
+	node := s.ep.Node()
+	for _, c := range s.out {
+		for len(c.sendq) > 0 {
+			err := c.inject(c.sendq[0])
+			if errors.Is(err, network.ErrBackpressure) {
+				node.Charge(cost.Base, retryProbe)
+				break
+			}
+			if err != nil {
+				return err
+			}
+			c.sendq = c.sendq[1:]
+		}
+	}
+	return nil
+}
+
+// Step adapts the service to machine.Stepper semantics: done when every
+// connection is idle.
+func (s *Stream) Step() (bool, error) {
+	if err := s.Pump(); err != nil {
+		return false, err
+	}
+	for _, c := range s.out {
+		if !c.Idle() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// sink receives stream packets: fixed per-channel setup, then a bare
+// extraction and handler dispatch per packet.
+func (s *Stream) sink(src int, head network.Word, data []network.Word) error {
+	node := s.ep.Node()
+	ch := uint8(head)
+	key := connKey{src, ch}
+	if !s.seen[key] {
+		s.seen[key] = true
+		node.Charge(cost.Base, s.sched().CRStreamRecvFixed)
+	}
+	node.Charge(cost.Base, s.sched().CRStreamRecv)
+	node.Event("crstream.packet.recv")
+	if s.cfg.OnDeliver != nil {
+		s.cfg.OnDeliver(src, ch, data)
+	}
+	return nil
+}

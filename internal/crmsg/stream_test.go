@@ -1,0 +1,209 @@
+package crmsg
+
+import (
+	"testing"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+)
+
+type crStreamRig struct {
+	m         *machine.Machine
+	src, dst  *Stream
+	delivered [][]network.Word
+}
+
+func newCRStreamRig(t *testing.T, net network.Network) *crStreamRig {
+	t.Helper()
+	rig := &crStreamRig{m: twoNode(t, net)}
+	rig.src = MustNewStream(cmam.NewEndpoint(rig.m.Node(0)), StreamConfig{})
+	rig.dst = MustNewStream(cmam.NewEndpoint(rig.m.Node(1)), StreamConfig{
+		OnDeliver: func(src int, ch uint8, data []network.Word) {
+			buf := make([]network.Word, len(data))
+			copy(buf, data)
+			rig.delivered = append(rig.delivered, buf)
+		},
+	})
+	return rig
+}
+
+func (r *crStreamRig) run(t *testing.T, c *Conn, wantPackets int) {
+	t.Helper()
+	err := machine.Run(100000,
+		machine.StepFunc(func() (bool, error) {
+			return c.Idle() && len(r.delivered) == wantPackets, r.src.Pump()
+		}),
+		machine.StepFunc(func() (bool, error) {
+			return c.Idle() && len(r.delivered) == wantPackets, r.dst.Pump()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 6, indefinite sequence: CR eliminates sequencing, reorder
+// buffering, source buffering, and acknowledgements — software cost drops
+// to base data movement, ~70% below CMAM (143 vs 481 at 16 words).
+func TestCRStream16Words(t *testing.T) {
+	net := network.MustCRNet(network.CRConfig{Nodes: 2})
+	rig := newCRStreamRig(t, net)
+	c := rig.src.Open(1, 0)
+	for i := 0; i < 4; i++ {
+		base := network.Word(i * 4)
+		if err := c.Send(base, base+1, base+2, base+3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rig.run(t, c, 4)
+
+	for i, pkt := range rig.delivered {
+		if pkt[0] != network.Word(i*4) {
+			t.Fatalf("packet %d out of order: %v", i, pkt)
+		}
+	}
+
+	src := rig.m.Node(0).Gauge.RoleTotal(cost.Source)
+	dst := rig.m.Node(1).Gauge.RoleTotal(cost.Destination)
+	if src != cost.V(14, 1, 5).Scale(4) {
+		t.Errorf("source = %v", src)
+	}
+	wantDst := cost.V(10, 0, 1).Add(cost.V(9, 0, 4).Scale(4))
+	if dst != wantDst {
+		t.Errorf("destination = %v, want %v", dst, wantDst)
+	}
+	if total := src.Total() + dst.Total(); total != 143 {
+		t.Errorf("total = %d, want 143", total)
+	}
+}
+
+// At 1024 words: 8459 vs CMAM's 29965, a 71.8% reduction (the paper's ~70%).
+func TestCRStream1024Words(t *testing.T) {
+	net := network.MustCRNet(network.CRConfig{Nodes: 2})
+	rig := newCRStreamRig(t, net)
+	c := rig.src.Open(1, 0)
+	for i := 0; i < 256; i++ {
+		if err := c.Send(1, 2, 3, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rig.run(t, c, 256)
+	total := rig.m.TotalGauge().Total().Total()
+	if total != 8459 {
+		t.Errorf("total = %d, want 8459", total)
+	}
+	// Only Base is ever charged.
+	for _, n := range rig.m.Nodes {
+		for _, f := range []cost.Feature{cost.BufferMgmt, cost.InOrder, cost.FaultTol} {
+			if got := n.Gauge.Cell(n.Role(), f); !got.IsZero() {
+				t.Errorf("node %d charged %v to %s", n.ID, got, f)
+			}
+		}
+	}
+}
+
+// Transient network faults are recovered in hardware, invisible to the
+// stream: exact delivery, base-only cost, retries counted by the substrate.
+func TestCRStreamTransparentFaults(t *testing.T) {
+	net := network.MustCRNet(network.CRConfig{
+		Nodes:           2,
+		TransientFaults: &network.EveryNth{N: 3, What: network.Drop},
+	})
+	rig := newCRStreamRig(t, net)
+	c := rig.src.Open(1, 0)
+	for i := 0; i < 12; i++ {
+		if err := c.Send(network.Word(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rig.run(t, c, 12)
+	for i, pkt := range rig.delivered {
+		if len(pkt) != 1 || pkt[0] != network.Word(i) {
+			t.Fatalf("delivery %d = %v", i, pkt)
+		}
+	}
+	if net.Stats().HWRetries == 0 {
+		t.Error("expected hardware retries")
+	}
+	if got := rig.m.Node(0).Gauge.Cell(cost.Source, cost.FaultTol); !got.IsZero() {
+		t.Errorf("software charged for hardware fault recovery: %v", got)
+	}
+}
+
+func TestCRStreamBackpressureRetries(t *testing.T) {
+	net := network.MustCRNet(network.CRConfig{Nodes: 2, Capacity: 2})
+	rig := newCRStreamRig(t, net)
+	c := rig.src.Open(1, 0)
+	for i := 0; i < 10; i++ {
+		if err := c.Send(network.Word(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Idle() {
+		t.Fatal("expected backpressure with capacity 2")
+	}
+	rig.run(t, c, 10)
+	for i, pkt := range rig.delivered {
+		if pkt[0] != network.Word(i) {
+			t.Fatalf("delivery %d = %v (order violated under backpressure)", i, pkt)
+		}
+	}
+	if c.Sent() != 10 {
+		t.Errorf("Sent = %d", c.Sent())
+	}
+}
+
+func TestCRStreamValidation(t *testing.T) {
+	net := network.MustCRNet(network.CRConfig{Nodes: 2})
+	rig := newCRStreamRig(t, net)
+	c := rig.src.Open(1, 0)
+	if err := c.Send(); err == nil {
+		t.Error("accepted empty send")
+	}
+	if err := c.Send(1, 2, 3, 4, 5); err == nil {
+		t.Error("accepted oversize send")
+	}
+	c.Close()
+	if err := c.Send(1); err == nil {
+		t.Error("accepted send on closed stream")
+	}
+	if rig.src.Open(1, 0) != c {
+		t.Error("Open created a duplicate connection")
+	}
+}
+
+// Channels multiplex independently, each paying its own fixed cost once.
+func TestCRStreamChannels(t *testing.T) {
+	net := network.MustCRNet(network.CRConfig{Nodes: 2})
+	m := twoNode(t, net)
+	src := MustNewStream(cmam.NewEndpoint(m.Node(0)), StreamConfig{})
+	byCh := map[uint8][]network.Word{}
+	dst := MustNewStream(cmam.NewEndpoint(m.Node(1)), StreamConfig{
+		OnDeliver: func(_ int, ch uint8, data []network.Word) {
+			byCh[ch] = append(byCh[ch], data...)
+		},
+	})
+	a, b := src.Open(1, 1), src.Open(1, 2)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(network.Word(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(network.Word(10 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dst.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	if len(byCh[1]) != 3 || len(byCh[2]) != 3 {
+		t.Fatalf("per-channel deliveries: %v", byCh)
+	}
+	// Fixed reception cost charged once per channel: 2 channels.
+	fixed := cost.V(10, 0, 1).Scale(2)
+	perPkt := cost.V(9, 0, 4).Scale(6)
+	if got := m.Node(1).Gauge.RoleTotal(cost.Destination); got != fixed.Add(perPkt) {
+		t.Errorf("destination = %v, want %v", got, fixed.Add(perPkt))
+	}
+}

@@ -1,0 +1,363 @@
+// Package ctrlnet simulates a CM-5-style control network: a combining tree
+// separate from the data network that performs reductions, barriers, and
+// broadcasts in hardware. The real CM-5 pairs its data network (the paper's
+// subject) with exactly such a network, and it is the same design thesis
+// the paper advocates — moving a communication service from the messaging
+// layer into the network — applied to collective operations: a software
+// all-reduce over active messages costs two Table 1 round trips per
+// non-root node, while the control network combines contributions in the
+// tree and hands every node the result for a few device accesses.
+//
+// The model is cycle-stepped like the flit simulator: contributions climb
+// the tree one level per cycle, combine at internal nodes, and the result
+// descends one level per cycle, so a full operation over N nodes takes
+// 2*ceil(log_fanout(N)) cycles after the last contribution.
+package ctrlnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a combining operation supported by the tree hardware.
+type Op uint8
+
+// Combining operations of the CM-5 control network.
+const (
+	OpSum Op = iota
+	OpMax
+	OpAnd
+	OpOr
+	OpXor
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpXor:
+		return "xor"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+func (o Op) combine(a, b uint32) uint32 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	default:
+		return 0
+	}
+}
+
+// Errors reported by the control network.
+var (
+	ErrOpMismatch   = errors.New("ctrlnet: nodes contributed different operations to one round")
+	ErrBusy         = errors.New("ctrlnet: node already contributed to the current round")
+	ErrRoundOpen    = errors.New("ctrlnet: previous result not yet consumed")
+	errBadNode      = errors.New("ctrlnet: node out of range")
+	errBadArguments = errors.New("ctrlnet: invalid configuration")
+)
+
+type roundState uint8
+
+const (
+	roundGathering  roundState = iota // waiting for contributions
+	roundClimbing                     // partial results moving up the tree
+	roundDescending                   // result moving down the tree
+	roundDone                         // result available at the leaves
+)
+
+// Net is the control network.
+type Net struct {
+	nodes  int
+	fanout int
+	depth  int // tree levels above the leaves
+
+	state       roundState
+	op          Op
+	contributed []bool
+	pending     int // contributions still missing
+	consumed    []bool
+	remaining   int // results not yet read
+	value       uint32
+	phase       int // levels traversed in the current direction
+
+	scan        *scanState
+	scanReadyAt uint64
+
+	cycle      uint64
+	operations uint64 // completed combine rounds
+}
+
+// New builds a control network over the given number of nodes with the
+// given tree fanout (the CM-5 used fanout 4).
+func New(nodes, fanout int) (*Net, error) {
+	if nodes < 1 || fanout < 2 {
+		return nil, fmt.Errorf("%w: nodes=%d fanout=%d", errBadArguments, nodes, fanout)
+	}
+	depth := 0
+	for span := 1; span < nodes; span *= fanout {
+		depth++
+	}
+	return &Net{
+		nodes:       nodes,
+		fanout:      fanout,
+		depth:       depth,
+		contributed: make([]bool, nodes),
+		consumed:    make([]bool, nodes),
+		pending:     nodes,
+		remaining:   nodes,
+	}, nil
+}
+
+// MustNew is New that panics on invalid arguments.
+func MustNew(nodes, fanout int) *Net {
+	n, err := New(nodes, fanout)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Nodes returns the number of attached nodes.
+func (n *Net) Nodes() int { return n.nodes }
+
+// Depth returns the tree height; a combine costs 2*Depth cycles of
+// propagation.
+func (n *Net) Depth() int { return n.depth }
+
+// Cycle returns the current simulated cycle.
+func (n *Net) Cycle() uint64 { return n.cycle }
+
+// Operations returns the number of completed combine rounds.
+func (n *Net) Operations() uint64 { return n.operations }
+
+// Contribute enters a node's value into the current combine round. All
+// nodes must use the same operation; the round begins combining once every
+// node has contributed. A node may not contribute twice, and a new round
+// cannot start until every node consumed the previous result — the CM-5
+// control network is similarly a single shared resource.
+func (n *Net) Contribute(node int, op Op, value uint32) error {
+	if node < 0 || node >= n.nodes {
+		return fmt.Errorf("%w: %d", errBadNode, node)
+	}
+	if n.scan != nil {
+		return ErrBusy // a scan holds the tree
+	}
+	switch n.state {
+	case roundDone:
+		return ErrRoundOpen
+	case roundClimbing, roundDescending:
+		return ErrBusy
+	}
+	if n.contributed[node] {
+		return ErrBusy
+	}
+	if n.pending == n.nodes {
+		// First contribution fixes the round's operation.
+		n.op = op
+		n.value = value
+	} else {
+		if op != n.op {
+			return ErrOpMismatch
+		}
+		n.value = n.op.combine(n.value, value)
+	}
+	n.contributed[node] = true
+	n.pending--
+	if n.pending == 0 {
+		if n.depth == 0 {
+			// A single-leaf tree combines at the leaf itself.
+			n.state = roundDone
+			n.operations++
+		} else {
+			n.state = roundClimbing
+			n.phase = 0
+		}
+	}
+	return nil
+}
+
+// Tick advances the combining hardware.
+func (n *Net) Tick(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.cycle++
+		switch n.state {
+		case roundClimbing:
+			n.phase++
+			if n.phase >= n.depth {
+				n.state = roundDescending
+				n.phase = 0
+			}
+		case roundDescending:
+			n.phase++
+			if n.phase >= n.depth {
+				n.state = roundDone
+				n.operations++
+			}
+		}
+	}
+}
+
+// Result reads the combine result at a node. It reports false while the
+// round is still propagating. Each node reads the result exactly once; when
+// every node has read it, the network is ready for the next round.
+func (n *Net) Result(node int) (uint32, bool) {
+	if node < 0 || node >= n.nodes || n.state != roundDone || n.consumed[node] {
+		return 0, false
+	}
+	n.consumed[node] = true
+	n.remaining--
+	v := n.value
+	if n.remaining == 0 {
+		// Reset for the next round.
+		n.state = roundGathering
+		for i := range n.contributed {
+			n.contributed[i] = false
+			n.consumed[i] = false
+		}
+		n.pending = n.nodes
+		n.remaining = n.nodes
+	}
+	return v, true
+}
+
+// Barrier is a combine with a don't-care value: Contribute with OpAnd of 1,
+// result readable when everyone has arrived. Provided for readability.
+func (n *Net) Barrier(node int) error { return n.Contribute(node, OpAnd, 1) }
+
+// --- Scan (parallel prefix) -------------------------------------------
+
+// scanState tracks one scan round; scans and combines share the tree, so
+// only one of either kind is in flight at a time (enforced by reusing the
+// round state machine).
+type scanState struct {
+	op      Op
+	values  []uint32
+	entered []bool
+	pending int
+	results []uint32
+	read    []bool
+	unread  int
+}
+
+// ScanContribute enters a node's value into a parallel-prefix (scan)
+// operation, the second famous service of the CM-5 control network: node i
+// receives op(v_0, ..., v_i) — an inclusive prefix by rank. The scan uses
+// the same tree as combines and the same timing (2*Depth cycles after the
+// last contribution); a combine and a scan cannot be in flight together.
+func (n *Net) ScanContribute(node int, op Op, value uint32) error {
+	if node < 0 || node >= n.nodes {
+		return fmt.Errorf("%w: %d", errBadNode, node)
+	}
+	if n.scan == nil {
+		switch n.state {
+		case roundDone:
+			return ErrRoundOpen
+		case roundClimbing, roundDescending:
+			return ErrBusy
+		}
+		if n.pending != n.nodes {
+			return ErrBusy // a combine round is gathering
+		}
+		n.scan = &scanState{
+			op:      op,
+			values:  make([]uint32, n.nodes),
+			entered: make([]bool, n.nodes),
+			pending: n.nodes,
+			read:    make([]bool, n.nodes),
+			unread:  n.nodes,
+		}
+	}
+	s := n.scan
+	if s.results != nil {
+		return ErrRoundOpen
+	}
+	if s.entered[node] {
+		return ErrBusy
+	}
+	if s.pending == n.nodes {
+		s.op = op
+	} else if op != s.op {
+		return ErrOpMismatch
+	}
+	s.entered[node] = true
+	s.values[node] = value
+	s.pending--
+	if s.pending == 0 {
+		// The tree computes all prefixes during the up/down sweep; model
+		// the result as ready after the same 2*Depth propagation.
+		s.results = make([]uint32, n.nodes)
+		acc := s.values[0]
+		s.results[0] = acc
+		for i := 1; i < n.nodes; i++ {
+			acc = s.op.combine(acc, s.values[i])
+			s.results[i] = acc
+		}
+		n.scanReadyAt = n.cycle + 2*uint64(n.depth)
+	}
+	return nil
+}
+
+// ScanResult reads a node's prefix result; false while propagating. Each
+// node reads once; the tree frees when all have read.
+func (n *Net) ScanResult(node int) (uint32, bool) {
+	s := n.scan
+	if s == nil || s.results == nil || node < 0 || node >= n.nodes {
+		return 0, false
+	}
+	if n.cycle < n.scanReadyAt || s.read[node] {
+		return 0, false
+	}
+	s.read[node] = true
+	s.unread--
+	v := s.results[node]
+	if s.unread == 0 {
+		n.scan = nil
+		n.operations++
+	}
+	return v, true
+}
+
+// --- Broadcast ----------------------------------------------------------
+
+// Broadcast sends a value from one node to every node through the tree
+// (descend-only: Depth cycles). It reuses the combine machinery: the root's
+// contribution rides an OR-combine where every other node contributes the
+// identity. Provided as the third control-network service; like combines
+// and scans it holds the tree for one round.
+func (n *Net) Broadcast(root int, value uint32) error {
+	if root < 0 || root >= n.nodes {
+		return fmt.Errorf("%w: %d", errBadNode, root)
+	}
+	for node := 0; node < n.nodes; node++ {
+		v := uint32(0)
+		if node == root {
+			v = value
+		}
+		if err := n.Contribute(node, OpOr, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package ctrlnet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := New(4, 1); err == nil {
+		t.Error("accepted fanout 1")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestDepth(t *testing.T) {
+	for _, tc := range []struct{ nodes, fanout, depth int }{
+		{1, 4, 0}, {2, 2, 1}, {4, 2, 2}, {8, 2, 3},
+		{4, 4, 1}, {16, 4, 2}, {17, 4, 3}, {64, 4, 3},
+	} {
+		n := MustNew(tc.nodes, tc.fanout)
+		if n.Depth() != tc.depth {
+			t.Errorf("depth(%d,%d) = %d, want %d", tc.nodes, tc.fanout, n.Depth(), tc.depth)
+		}
+		if n.Nodes() != tc.nodes {
+			t.Errorf("Nodes = %d", n.Nodes())
+		}
+	}
+}
+
+// drive contributes all values and ticks until every node reads the result.
+func drive(t *testing.T, n *Net, op Op, values []uint32) []uint32 {
+	t.Helper()
+	for node, v := range values {
+		if err := n.Contribute(node, op, v); err != nil {
+			t.Fatalf("contribute %d: %v", node, err)
+		}
+	}
+	results := make([]uint32, len(values))
+	got := make([]bool, len(values))
+	for cycle := 0; cycle < 1000; cycle++ {
+		n.Tick(1)
+		all := true
+		for node := range values {
+			if !got[node] {
+				if v, ok := n.Result(node); ok {
+					results[node] = v
+					got[node] = true
+				} else {
+					all = false
+				}
+			}
+		}
+		if all {
+			return results
+		}
+	}
+	t.Fatal("combine never completed")
+	return nil
+}
+
+func TestReduceSum(t *testing.T) {
+	n := MustNew(8, 4)
+	values := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, r := range drive(t, n, OpSum, values) {
+		if r != 36 {
+			t.Fatalf("sum = %d, want 36", r)
+		}
+	}
+	if n.Operations() != 1 {
+		t.Errorf("operations = %d", n.Operations())
+	}
+}
+
+func TestAllOps(t *testing.T) {
+	values := []uint32{0b1100, 0b1010, 0b0110, 0b0001}
+	want := map[Op]uint32{
+		OpSum: 0b1100 + 0b1010 + 0b0110 + 0b0001,
+		OpMax: 0b1100,
+		OpAnd: 0b0000,
+		OpOr:  0b1111,
+		OpXor: 0b1100 ^ 0b1010 ^ 0b0110 ^ 0b0001,
+	}
+	for op, expect := range want {
+		n := MustNew(4, 2)
+		for _, r := range drive(t, n, op, values) {
+			if r != expect {
+				t.Errorf("%s = %d, want %d", op, r, expect)
+			}
+		}
+	}
+	if OpSum.String() != "sum" || Op(99).String() != "Op(99)" {
+		t.Error("op strings wrong")
+	}
+	if Op(99).combine(1, 2) != 0 {
+		t.Error("unknown op combine")
+	}
+}
+
+func TestLatencyIsTwiceDepth(t *testing.T) {
+	n := MustNew(16, 4) // depth 2
+	for node := 0; node < 16; node++ {
+		if err := n.Contribute(node, OpSum, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Result must not be available before 2*depth cycles.
+	n.Tick(2*n.Depth() - 1)
+	if _, ok := n.Result(0); ok {
+		t.Error("result available a cycle early")
+	}
+	n.Tick(1)
+	if v, ok := n.Result(0); !ok || v != 16 {
+		t.Errorf("result = %d, %v after 2*depth cycles", v, ok)
+	}
+}
+
+func TestContributionErrors(t *testing.T) {
+	n := MustNew(2, 2)
+	if err := n.Contribute(5, OpSum, 1); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+	if err := n.Contribute(0, OpSum, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Contribute(0, OpSum, 1); !errors.Is(err, ErrBusy) {
+		t.Errorf("double contribution = %v", err)
+	}
+	if err := n.Contribute(1, OpMax, 1); !errors.Is(err, ErrOpMismatch) {
+		t.Errorf("mismatched op = %v", err)
+	}
+	if err := n.Contribute(1, OpSum, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-propagation contributions are refused.
+	if err := n.Contribute(0, OpSum, 1); !errors.Is(err, ErrBusy) {
+		t.Errorf("mid-flight contribution = %v", err)
+	}
+	n.Tick(2 * n.Depth())
+	// Round done but unconsumed: next round must wait.
+	if err := n.Contribute(0, OpSum, 1); !errors.Is(err, ErrRoundOpen) {
+		t.Errorf("contribution before consumption = %v", err)
+	}
+	if v, ok := n.Result(0); !ok || v != 3 {
+		t.Fatalf("result = %d, %v", v, ok)
+	}
+	// Double read is refused.
+	if _, ok := n.Result(0); ok {
+		t.Error("double read succeeded")
+	}
+	if _, ok := n.Result(9); ok {
+		t.Error("out-of-range read succeeded")
+	}
+	if v, ok := n.Result(1); !ok || v != 3 {
+		t.Fatalf("result at node 1 = %d, %v", v, ok)
+	}
+}
+
+func TestBackToBackRounds(t *testing.T) {
+	n := MustNew(4, 2)
+	for round := uint32(1); round <= 5; round++ {
+		values := []uint32{round, round, round, round}
+		for _, r := range drive(t, n, OpSum, values) {
+			if r != 4*round {
+				t.Fatalf("round %d = %d", round, r)
+			}
+		}
+	}
+	if n.Operations() != 5 {
+		t.Errorf("operations = %d", n.Operations())
+	}
+}
+
+func TestBarrierHelper(t *testing.T) {
+	n := MustNew(3, 2)
+	for node := 0; node < 3; node++ {
+		if err := n.Barrier(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Tick(2 * n.Depth())
+	for node := 0; node < 3; node++ {
+		if _, ok := n.Result(node); !ok {
+			t.Fatalf("barrier not released at node %d", node)
+		}
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	n := MustNew(1, 4) // depth 0: combines complete immediately after Tick
+	if err := n.Contribute(0, OpSum, 7); err != nil {
+		t.Fatal(err)
+	}
+	n.Tick(1)
+	if v, ok := n.Result(0); !ok || v != 7 {
+		t.Errorf("result = %d, %v", v, ok)
+	}
+}
+
+// Property: for random value sets, the tree's sum/max/xor agree with the
+// sequential fold, at any fanout.
+func TestCombineProperty(t *testing.T) {
+	prop := func(raw []uint32, fanoutRaw uint8, opRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		op := Op(opRaw % 5)
+		fanout := int(fanoutRaw%3) + 2
+		n := MustNew(len(raw), fanout)
+		for node, v := range raw {
+			if err := n.Contribute(node, op, v); err != nil {
+				return false
+			}
+		}
+		n.Tick(2*n.Depth() + 1)
+		want := raw[0]
+		for _, v := range raw[1:] {
+			want = op.combine(want, v)
+		}
+		for node := range raw {
+			v, ok := n.Result(node)
+			if !ok || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanPrefixSum(t *testing.T) {
+	n := MustNew(5, 2)
+	values := []uint32{1, 2, 3, 4, 5}
+	for node, v := range values {
+		if err := n.ScanContribute(node, OpSum, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Not ready before 2*depth cycles.
+	if _, ok := n.ScanResult(0); ok {
+		t.Error("scan result available before propagation")
+	}
+	n.Tick(2 * n.Depth())
+	want := []uint32{1, 3, 6, 10, 15}
+	for node := range values {
+		v, ok := n.ScanResult(node)
+		if !ok || v != want[node] {
+			t.Errorf("scan[%d] = %d, %v; want %d", node, v, ok, want[node])
+		}
+	}
+	// The tree frees after all reads: a combine may follow.
+	if err := n.Contribute(0, OpSum, 1); err != nil {
+		t.Errorf("combine after scan = %v", err)
+	}
+}
+
+func TestScanMaxAndErrors(t *testing.T) {
+	n := MustNew(3, 2)
+	if err := n.ScanContribute(9, OpMax, 1); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+	if err := n.ScanContribute(0, OpMax, 5); err != nil {
+		t.Fatal(err)
+	}
+	// A combine cannot start while the scan gathers.
+	if err := n.Contribute(1, OpSum, 1); !errors.Is(err, ErrBusy) {
+		t.Errorf("combine during scan = %v", err)
+	}
+	if err := n.ScanContribute(0, OpMax, 5); !errors.Is(err, ErrBusy) {
+		t.Errorf("double scan contribution = %v", err)
+	}
+	if err := n.ScanContribute(1, OpSum, 1); !errors.Is(err, ErrOpMismatch) {
+		t.Errorf("mismatched scan op = %v", err)
+	}
+	if err := n.ScanContribute(1, OpMax, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScanContribute(2, OpMax, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Contributions after the round fills are refused until consumed.
+	if err := n.ScanContribute(0, OpMax, 7); !errors.Is(err, ErrRoundOpen) {
+		t.Errorf("scan contribution to full round = %v", err)
+	}
+	n.Tick(2 * n.Depth())
+	want := []uint32{5, 5, 5}
+	for node := range want {
+		v, ok := n.ScanResult(node)
+		if !ok || v != want[node] {
+			t.Errorf("scan max[%d] = %d, %v", node, v, ok)
+		}
+	}
+	// Double read refused.
+	if _, ok := n.ScanResult(0); ok {
+		t.Error("double scan read")
+	}
+}
+
+func TestScanWhileCombineGathering(t *testing.T) {
+	n := MustNew(2, 2)
+	if err := n.Contribute(0, OpSum, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScanContribute(1, OpSum, 1); !errors.Is(err, ErrBusy) {
+		t.Errorf("scan during combine = %v", err)
+	}
+}
+
+// Property: scans compute exact inclusive prefixes for any values.
+func TestScanProperty(t *testing.T) {
+	prop := func(raw []uint32, opRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 48 {
+			raw = raw[:48]
+		}
+		op := Op(opRaw % 5)
+		n := MustNew(len(raw), 4)
+		for node, v := range raw {
+			if err := n.ScanContribute(node, op, v); err != nil {
+				return false
+			}
+		}
+		n.Tick(2*n.Depth() + 1)
+		acc := raw[0]
+		for node, v := range raw {
+			if node > 0 {
+				acc = op.combine(acc, v)
+			}
+			got, ok := n.ScanResult(node)
+			if !ok || got != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := MustNew(6, 2)
+	if err := n.Broadcast(2, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	n.Tick(2 * n.Depth())
+	for node := 0; node < 6; node++ {
+		v, ok := n.Result(node)
+		if !ok || v != 0xbeef {
+			t.Errorf("node %d broadcast = %#x, %v", node, v, ok)
+		}
+	}
+	if err := n.Broadcast(9, 1); err == nil {
+		t.Error("accepted out-of-range root")
+	}
+}

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"msglayer/internal/analytic"
+	"msglayer/internal/cost"
+	"msglayer/internal/report"
+)
+
+// paperFinite returns the paper's finite-sequence cells for p packets of
+// four words (Appendix A's exact linear decomposition; the 16-word Table 2
+// panel is corrupted in available scans, so the p = 4 values are the
+// Appendix A sums — see DESIGN.md §5).
+func paperFinite(p uint64) report.Cells {
+	return report.Cells{
+		cost.Source: {
+			cost.Base:       cost.V(2, 1, 0).Add(cost.V(15, 2, 5).Scale(p)),
+			cost.BufferMgmt: cost.V(36, 1, 10),
+			cost.InOrder:    cost.V(2, 0, 0).Scale(p),
+			cost.FaultTol:   cost.V(22, 0, 5),
+		},
+		cost.Destination: {
+			cost.Base:       cost.V(14, 3, 1).Add(cost.V(12, 2, 4).Scale(p)),
+			cost.BufferMgmt: cost.V(79, 12, 10),
+			cost.InOrder:    cost.V(1, 0, 0).Add(cost.V(3, 0, 0).Scale(p)),
+			cost.FaultTol:   cost.V(14, 1, 5),
+		},
+	}
+}
+
+// paperIndefinite returns the paper's indefinite-sequence cells for p
+// packets with half arriving out of order.
+func paperIndefinite(p uint64) report.Cells {
+	half := p / 2
+	return report.Cells{
+		cost.Source: {
+			cost.Base:     cost.V(14, 1, 5).Scale(p),
+			cost.InOrder:  cost.V(2, 3, 0).Scale(p),
+			cost.FaultTol: cost.V(22, 2, 5).Scale(p),
+		},
+		cost.Destination: {
+			cost.Base: cost.V(12, 0, 1).Add(cost.V(10, 0, 4).Scale(p)),
+			cost.InOrder: cost.V(5, 0, 0).Scale(p - half).
+				Add(cost.V(20, 13, 0).Scale(half)).
+				Add(cost.V(10, 10, 0).Scale(half)),
+			cost.FaultTol: cost.V(14, 1, 5).Scale(p),
+		},
+	}
+}
+
+// Table1 reproduces the single-packet delivery breakdown.
+func Table1() (Result, error) {
+	g, err := runSingle()
+	if err != nil {
+		return Result{}, err
+	}
+	var b strings.Builder
+	b.WriteString(report.Table1(g))
+	b.WriteString("\n")
+	b.WriteString(report.WeightedLine(report.FromGauge(g), cost.CM5))
+	b.WriteString("\n")
+
+	src := g.RoleTotal(cost.Source).Total()
+	dst := g.RoleTotal(cost.Destination).Total()
+	return Result{
+		ID:    "table1",
+		Title: "Table 1: instruction counts for single-packet delivery",
+		Text:  b.String(),
+		Comparisons: []Comparison{
+			{Name: "single-packet source total", Paper: 20, Measured: src},
+			{Name: "single-packet destination total", Paper: 27, Measured: dst},
+		},
+	}, nil
+}
+
+// table2Panel runs one protocol/size cell of Table 2 and compares against
+// the paper.
+func table2Panel(name string, words int, stream bool, note string) (string, []Comparison, report.Cells, error) {
+	var cells report.Cells
+	var err error
+	if stream {
+		cells, err = runStreamCMAM(words, 4, 1)
+	} else {
+		cells, err = runFiniteCMAM(words, 4)
+	}
+	if err != nil {
+		return "", nil, nil, err
+	}
+	p := uint64(words / 4)
+	paper := paperFinite(p)
+	if stream {
+		paper = paperIndefinite(p)
+	}
+	comps := []Comparison{
+		{Name: name + " source", Paper: paper.RoleTotal(cost.Source).Total(),
+			Measured: cells.RoleTotal(cost.Source).Total(), Note: note},
+		{Name: name + " destination", Paper: paper.RoleTotal(cost.Destination).Total(),
+			Measured: cells.RoleTotal(cost.Destination).Total(), Note: note},
+		{Name: name + " total", Paper: paper.Total().Total(),
+			Measured: cells.Total().Total(), Note: note},
+	}
+	return report.FeatureTable(name, cells), comps, cells, nil
+}
+
+// table2Specs enumerates the four panels of Table 2.
+var table2Specs = []struct {
+	name   string
+	words  int
+	stream bool
+	note   string
+}{
+	{"Finite sequence, multi-packet delivery (16 words)", 16, false,
+		"paper panel corrupted in scans; value derived from Appendix A"},
+	{"Indefinite sequence, multi-packet delivery (16 words)", 16, true, ""},
+	{"Finite sequence, multi-packet delivery (1024 words)", 1024, false, ""},
+	{"Indefinite sequence, multi-packet delivery (1024 words)", 1024, true, ""},
+}
+
+// Table2 reproduces all four multi-packet delivery panels.
+func Table2() (Result, error) {
+	var b strings.Builder
+	var comps []Comparison
+	for _, spec := range table2Specs {
+		text, c, _, err := table2Panel(spec.name, spec.words, spec.stream, spec.note)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", spec.name, err)
+		}
+		b.WriteString(text)
+		b.WriteString("\n")
+		comps = append(comps, c...)
+	}
+	return Result{
+		ID:          "table2",
+		Title:       "Table 2: multi-packet delivery costs (packet size = 4 words)",
+		Text:        b.String(),
+		Comparisons: comps,
+	}, nil
+}
+
+// Table3 reproduces the reg/mem/dev subcategory breakdown.
+func Table3() (Result, error) {
+	var b strings.Builder
+	var comps []Comparison
+	for _, spec := range table2Specs {
+		var cells report.Cells
+		var err error
+		if spec.stream {
+			cells, err = runStreamCMAM(spec.words, 4, 1)
+		} else {
+			cells, err = runFiniteCMAM(spec.words, 4)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		b.WriteString(report.CategoryTable(spec.name, cells))
+		b.WriteString(report.WeightedLine(cells, cost.CM5))
+		b.WriteString("\n\n")
+
+		p := uint64(spec.words / 4)
+		paper := paperFinite(p)
+		if spec.stream {
+			paper = paperIndefinite(p)
+		}
+		for _, r := range cost.Roles() {
+			for _, cat := range cost.Categories() {
+				comps = append(comps, Comparison{
+					Name:     fmt.Sprintf("%s %s %s", spec.name, r, cat),
+					Paper:    paper.RoleTotal(r).Get(cat),
+					Measured: cells.RoleTotal(r).Get(cat),
+				})
+			}
+		}
+	}
+	return Result{
+		ID:          "table3",
+		Title:       "Table 3: instruction subcategories (reg/mem/dev) for CMAM-based protocols",
+		Text:        b.String(),
+		Comparisons: comps,
+	}, nil
+}
+
+// Figure6 reproduces the CMAM-vs-high-level-features comparison. The paper
+// reports a 10-50% improvement for finite transfers (by message size) and
+// ~70% for indefinite transfers; the comparisons record both totals, with
+// the improvement in the rendered chart.
+func Figure6() (Result, error) {
+	type cell struct {
+		label  string
+		words  int
+		stream bool
+	}
+	cases := []cell{
+		{"finite sequence, 16 words", 16, false},
+		{"finite sequence, 1024 words", 1024, false},
+		{"indefinite sequence, 16 words", 16, true},
+		{"indefinite sequence, 1024 words", 1024, true},
+	}
+	var pairs []report.BarPair
+	var comps []Comparison
+	for _, c := range cases {
+		var cm, cr report.Cells
+		var err error
+		if c.stream {
+			if cm, err = runStreamCMAM(c.words, 4, 1); err != nil {
+				return Result{}, err
+			}
+			if cr, err = runStreamCR(c.words, 4); err != nil {
+				return Result{}, err
+			}
+		} else {
+			if cm, err = runFiniteCMAM(c.words, 4); err != nil {
+				return Result{}, err
+			}
+			if cr, err = runFiniteCR(c.words, 4); err != nil {
+				return Result{}, err
+			}
+		}
+		pairs = append(pairs, report.BarPair{
+			Label: c.label,
+			CMAM:  cm.Total().Total(),
+			CR:    cr.Total().Total(),
+		})
+		// The high-level-feature implementation must charge nothing to
+		// in-order delivery or fault tolerance; its total equals base
+		// plus the pointer-store buffer registration.
+		comps = append(comps,
+			Comparison{Name: c.label + " CR in-order+fault-tol", Paper: 0,
+				Measured: cr[cost.Source][cost.InOrder].Total() +
+					cr[cost.Destination][cost.InOrder].Total() +
+					cr[cost.Source][cost.FaultTol].Total() +
+					cr[cost.Destination][cost.FaultTol].Total()},
+		)
+	}
+	var b strings.Builder
+	b.WriteString(report.Comparison("Messaging layer costs: CMAM vs high-level network features", pairs))
+	b.WriteString("\nPaper targets: finite improves 10-50% by message size; indefinite ~70%.\n")
+	return Result{
+		ID:          "figure6",
+		Title:       "Figure 6: comparison of messaging layer costs",
+		Text:        b.String(),
+		Comparisons: comps,
+	}, nil
+}
+
+// figure8Sizes is the paper's packet-size sweep range.
+var figure8Sizes = []int{4, 8, 16, 32, 64, 128}
+
+// Figure8 reproduces both halves of Figure 8: the generalized cost
+// formulas (left) and the overhead-versus-packet-size sweep for a
+// 1024-word message (right), cross-validating the analytic model against
+// the simulator at every point.
+func Figure8() (Result, error) {
+	var b strings.Builder
+
+	// Left: generalized formulas.
+	s4 := cost.MustPaperSchedule(4)
+	for _, proto := range []analytic.Protocol{analytic.ProtoFiniteCMAM, analytic.ProtoIndefiniteCMAM} {
+		formula, err := analytic.Formula(proto, s4)
+		if err != nil {
+			return Result{}, err
+		}
+		b.WriteString(formula)
+		b.WriteString("\n")
+	}
+
+	// Right: overhead fraction sweeps, analytic and simulated.
+	const words = 1024
+	var points []report.SeriesPoint
+	var comps []Comparison
+	for _, n := range figure8Sizes {
+		sched, err := cost.NewPaperSchedule(n)
+		if err != nil {
+			return Result{}, err
+		}
+		prm := analytic.Params{
+			MessageWords: words,
+			OutOfOrder:   analytic.HalfOutOfOrder(sched, words),
+			AckGroup:     1,
+		}
+		fin, err := analytic.FiniteCMAM(sched, prm)
+		if err != nil {
+			return Result{}, err
+		}
+		ind, err := analytic.IndefiniteCMAM(sched, prm)
+		if err != nil {
+			return Result{}, err
+		}
+
+		finSim, err := runFiniteCMAM(words, n)
+		if err != nil {
+			return Result{}, err
+		}
+		indSim, err := runStreamCMAM(words, n, 1)
+		if err != nil {
+			return Result{}, err
+		}
+		simFinOverhead := overhead(finSim)
+		simIndOverhead := overhead(indSim)
+
+		points = append(points, report.SeriesPoint{
+			X: n,
+			Values: []float64{
+				ind.Overhead(), simIndOverhead,
+				fin.Overhead(), simFinOverhead,
+			},
+		})
+		comps = append(comps,
+			Comparison{
+				Name:     fmt.Sprintf("figure8 n=%d finite total (analytic vs simulated)", n),
+				Paper:    fin.Total().Total(),
+				Measured: finSim.Total().Total(),
+			},
+			Comparison{
+				Name:     fmt.Sprintf("figure8 n=%d indefinite total (analytic vs simulated)", n),
+				Paper:    ind.Total().Total(),
+				Measured: indSim.Total().Total(),
+			},
+		)
+	}
+	b.WriteString(report.Series(
+		"Messaging overhead fraction vs packet size, 1024-word message",
+		"n", []string{"indef(model)", "indef(sim)", "finite(model)", "finite(sim)"},
+		points))
+	b.WriteString("\nPaper targets: finite overhead 9-11%; indefinite remains significant (~50-70%).\n")
+	return Result{
+		ID:          "figure8",
+		Title:       "Figure 8: generalized cost model and overhead vs packet size",
+		Text:        b.String(),
+		Comparisons: comps,
+	}, nil
+}
+
+// overhead computes the non-base fraction of a measured breakdown.
+func overhead(c report.Cells) float64 {
+	total := c.Total().Total()
+	if total == 0 {
+		return 0
+	}
+	base := c[cost.Source][cost.Base].Add(c[cost.Destination][cost.Base]).Total()
+	return 1 - float64(base)/float64(total)
+}
+
+// All runs every paper experiment in order.
+func All() ([]Result, error) {
+	runners := []func() (Result, error){
+		Table1, Table2, Table3, Figure6, Figure8,
+	}
+	var out []Result
+	for _, run := range runners {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// requireAllMatch asserts every comparison row matched the paper value.
+func requireAllMatch(t *testing.T, r Result) {
+	t.Helper()
+	if len(r.Comparisons) == 0 {
+		t.Fatalf("%s produced no comparisons", r.ID)
+	}
+	for _, c := range r.Comparisons {
+		if !c.Match() {
+			t.Errorf("%s: %s = %d, paper %d", r.ID, c.Name, c.Measured, c.Paper)
+		}
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	for _, want := range []string{"Call/Return", "Total", "20", "27", "weighted"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Table1 text missing %q", want)
+		}
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	// All four panels and the headline totals appear.
+	for _, want := range []string{
+		"Finite sequence, multi-packet delivery (16 words)",
+		"Indefinite sequence, multi-packet delivery (1024 words)",
+		"11737", "29965", "481",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Table2 text missing %q", want)
+		}
+	}
+	if len(r.Comparisons) != 12 {
+		t.Errorf("Table2 comparisons = %d, want 12", len(r.Comparisons))
+	}
+}
+
+func TestTable3Experiment(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	for _, want := range []string{"reg", "mem", "dev", "3842", "1280", "weighted cycles"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Table3 text missing %q", want)
+		}
+	}
+	// 4 panels x 2 roles x 3 categories.
+	if len(r.Comparisons) != 24 {
+		t.Errorf("Table3 comparisons = %d, want 24", len(r.Comparisons))
+	}
+}
+
+func TestFigure6Experiment(t *testing.T) {
+	r, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	// The rendered chart carries the improvement percentages; the paper's
+	// bands are ~53%/~15% finite and ~70%/~72% indefinite.
+	for _, want := range []string{"-53%", "-15%", "-70%", "-72%", "CMAM", "CR"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Figure6 text missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestFigure8Experiment(t *testing.T) {
+	r, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic model and simulation agree exactly at every sweep point.
+	requireAllMatch(t, r)
+	for _, want := range []string{"p*{reg:15 mem:2 dev:5}", "128", "indef(sim)", "finite(model)"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Figure8 text missing %q", want)
+		}
+	}
+}
+
+func TestAllRunsEveryPaperExperiment(t *testing.T) {
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, r := range results {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "figure6", "figure8"} {
+		if !ids[want] {
+			t.Errorf("All() missing %s", want)
+		}
+	}
+}
+
+func TestGroupAckAblation(t *testing.T) {
+	r, err := GroupAckAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	if !strings.Contains(r.Text, "g=") && !strings.Contains(r.Text, "overhead") {
+		t.Errorf("ablation text thin:\n%s", r.Text)
+	}
+}
+
+func TestOutOfOrderAblation(t *testing.T) {
+	r, err := OutOfOrderAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	if !strings.Contains(r.Text, "in order") {
+		t.Errorf("ablation text:\n%s", r.Text)
+	}
+}
+
+func TestFaultRateAblation(t *testing.T) {
+	r, err := FaultRateAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+}
+
+func TestImprovedNIAblation(t *testing.T) {
+	r, err := ImprovedNIAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+}
+
+func TestFlitLevelDemo(t *testing.T) {
+	r, err := FlitLevelDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	for _, want := range []string{"deterministic", "adaptive", "cr"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("demo text missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestAblationsRunAll(t *testing.T) {
+	results, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Errorf("Ablations = %d results, want 9", len(results))
+	}
+}
+
+func TestInterruptReceptionAblation(t *testing.T) {
+	r, err := InterruptReceptionAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+}
+
+func TestRoutingTradeoffAblation(t *testing.T) {
+	r, err := RoutingTradeoffAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	if !strings.Contains(r.Text, "deterministic") || !strings.Contains(r.Text, "adaptive") {
+		t.Errorf("text:\n%s", r.Text)
+	}
+}
+
+func TestControlNetworkAblation(t *testing.T) {
+	r, err := ControlNetworkAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+}
+
+func TestCrossoverAblation(t *testing.T) {
+	r, err := CrossoverAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllMatch(t, r)
+	if !strings.Contains(r.Text, "Crossover") {
+		t.Errorf("text:\n%s", r.Text)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// golden compares rendered experiment text against a checked-in golden
+// file, guarding the paper-layout rendering end to end. Regenerate with
+// go test ./internal/experiments -run Golden -update-golden.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update-golden): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: rendered output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table1", r.Text)
+}
+
+func TestGoldenTable2(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table2", r.Text)
+}
+
+func TestGoldenTable3(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table3", r.Text)
+}
+
+func TestGoldenFigure6(t *testing.T) {
+	r, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure6", r.Text)
+}
+
+func TestGoldenFigure8(t *testing.T) {
+	r, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure8", r.Text)
+}

@@ -1,0 +1,393 @@
+package flitnet
+
+import "msglayer/internal/topology"
+
+// Tick advances the simulation by the given number of cycles.
+func (n *Net) Tick(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.tickOnce()
+	}
+}
+
+// TickUntilQuiet advances until no worms remain in flight or queued, up to
+// the cycle budget. It returns true if the network drained.
+func (n *Net) TickUntilQuiet(budget int) bool {
+	for i := 0; i < budget; i++ {
+		if n.quiet() {
+			return true
+		}
+		n.tickOnce()
+	}
+	return n.quiet()
+}
+
+func (n *Net) quiet() bool {
+	if n.inflight > 0 {
+		return false
+	}
+	for _, f := range n.flows {
+		if f.active != nil || len(f.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Net) tickOnce() {
+	n.cycle++
+	n.stats.Cycles++
+	n.injectPhase()
+	n.routePhase()
+}
+
+// injectPhase starts and advances worm injection: one flit per node per
+// cycle, and one worm at a time per node — a node's NI streams each packet
+// into the network completely before beginning the next, so flits of
+// different packets never interleave in the source FIFO (which would
+// deadlock wormhole flow control: the first worm's body could be trapped
+// behind the second worm's blocked head).
+func (n *Net) injectPhase() {
+	injected := make(map[int]bool)
+	for _, key := range n.order {
+		f := n.flows[key]
+		if f.active == nil && n.injecting[key.src] == nil {
+			f.active = n.startNext(f)
+			if f.active != nil {
+				n.injecting[key.src] = f.active
+			}
+		}
+		w := f.active
+		if w == nil || w.state != wormInjecting || injected[key.src] {
+			continue
+		}
+		if n.injecting[key.src] != w {
+			continue // another flow's worm holds this node's send path
+		}
+		srcRouter, srcPort := n.cfg.Topology.NodePort(key.src)
+		buf := &n.routers[srcRouter].inputs[srcPort][w.srcVC]
+		if len(*buf) >= n.cfg.BufferFlits {
+			// The head is stuck at the source; in CR mode a worm that
+			// cannot even enter counts as blocked too.
+			if w.sent == 0 {
+				n.noteBlocked(w)
+			}
+			continue
+		}
+		*buf = append(*buf, flit{worm: w, kind: n.flitKind(w), arrived: n.cycle})
+		w.sent++
+		injected[key.src] = true
+		if w.sent == w.flits {
+			w.state = wormInFlight
+			n.injecting[key.src] = nil
+			if n.cfg.Mode != CR {
+				// Non-CR flows pipeline: the next worm may start while
+				// this one's tail is still traveling.
+				f.active = nil
+			}
+		}
+	}
+}
+
+// nextAwake pops the flow's next awake worm.
+func (f *flow) nextAwake(cycle uint64) *worm {
+	if len(f.queue) == 0 {
+		return nil
+	}
+	w := f.queue[0]
+	if w.wakeAt > cycle {
+		return nil
+	}
+	f.queue = f.queue[1:]
+	return w
+}
+
+func (n *Net) startNext(f *flow) *worm {
+	w := f.nextAwake(n.cycle)
+	if w == nil {
+		return nil
+	}
+	w.state = wormInjecting
+	w.blocked = 0
+	// Rotate injection channels so consecutive worms can bypass a blocked
+	// predecessor at the source port.
+	w.srcVC = int(w.id) % n.cfg.VirtualChannels
+	n.inflight++
+	return w
+}
+
+// flitKind determines the next flit of a worm being injected.
+func (n *Net) flitKind(w *worm) flitKind {
+	switch {
+	case w.sent == 0:
+		return flitHead
+	case w.sent == w.flits-1:
+		return flitTail
+	case w.sent-1 < len(w.packet.Data):
+		return flitBody
+	default:
+		return flitPad
+	}
+}
+
+// routePhase advances at most one flit per input lane per cycle, with each
+// physical output port carrying at most one flit per cycle.
+func (n *Net) routePhase() {
+	vcs := n.cfg.VirtualChannels
+	for r := range n.routers {
+		usedOut := make(map[int]bool)
+		for port := range n.routers[r].inputs {
+			for v := 0; v < vcs; v++ {
+				// Rotate virtual-channel priority each cycle for fairness.
+				vc := (v + int(n.cycle)) % vcs
+				n.advanceLane(r, port, vc, usedOut)
+			}
+		}
+	}
+}
+
+func (n *Net) advanceLane(r, port, vc int, usedOut map[int]bool) {
+	rt := &n.routers[r]
+	buf := &rt.inputs[port][vc]
+	if len(*buf) == 0 {
+		return
+	}
+	fl := (*buf)[0]
+	if fl.arrived == n.cycle {
+		return // moved into this lane this cycle; advances next cycle
+	}
+	w := fl.worm
+	if w.state == wormKilled || w.state == wormFailed {
+		*buf = (*buf)[1:]
+		return
+	}
+
+	var out lane
+	if claimed, ok := rt.route[w.id]; ok {
+		// The worm already holds an output lane here — either the head
+		// claimed it on an earlier cycle but the link was busy, or this
+		// is a body/tail flit following the head.
+		out = claimed
+	} else if fl.kind == flitHead {
+		claimed, ok := n.routeHead(r, port, vc, w, usedOut)
+		if !ok {
+			return // blocked, consumed at a terminal, or killed
+		}
+		out = claimed
+	} else {
+		// A body flit with no claim means the worm was killed and swept.
+		*buf = (*buf)[1:]
+		return
+	}
+	if usedOut[out.port] {
+		return // the physical link already carried a flit this cycle
+	}
+
+	peer, peerPort, node := n.cfg.Topology.Neighbor(r, out.port)
+	if node != topology.Terminal {
+		// Delivery: consume the flit; the tail completes the packet.
+		*buf = (*buf)[1:]
+		usedOut[out.port] = true
+		n.stats.FlitMoves++
+		if fl.kind == flitTail {
+			n.finishWorm(r, out, w, node)
+		}
+		return
+	}
+	// Router-to-router hop: needs space downstream on the claimed lane.
+	dst := &n.routers[peer].inputs[peerPort][out.vc]
+	if len(*dst) >= n.cfg.BufferFlits {
+		if fl.kind == flitHead {
+			n.noteBlocked(w)
+		}
+		return
+	}
+	*buf = (*buf)[1:]
+	fl.arrived = n.cycle
+	*dst = append(*dst, fl)
+	usedOut[out.port] = true
+	n.stats.FlitMoves++
+	w.blocked = 0
+	if fl.kind == flitTail {
+		// The tail releases this router's claim on the output lane.
+		if rt.owner[out] == w {
+			delete(rt.owner, out)
+		}
+		delete(rt.route, w.id)
+	}
+}
+
+// routeHead claims an output lane for a worm's head at router r, returning
+// (lane, true) on success. On rejection the worm is killed; on blocking the
+// head stays put; on delivery at a terminal the head is consumed and
+// (lane, false) is returned with the claim recorded.
+func (n *Net) routeHead(r, port, vc int, w *worm, usedOut map[int]bool) (lane, bool) {
+	rt := &n.routers[r]
+	cands := n.cfg.Topology.Route(r, port, w.packet.Dst)
+	if len(cands) == 0 {
+		n.kill(w, "unroutable")
+		return lane{}, false
+	}
+	if n.cfg.Mode != Adaptive {
+		cands = cands[:1]
+	}
+	vcs := n.cfg.VirtualChannels
+	for ci, cand := range cands {
+		peer, peerPort, node := n.cfg.Topology.Neighbor(r, cand)
+		if node != topology.Terminal {
+			// Arrival at the destination node: the acceptance check
+			// runs as the header begins to arrive. The NI ejects one
+			// flit per cycle but reassembles per virtual channel, so
+			// each ejection lane can hold a different worm.
+			if usedOut[cand] {
+				continue
+			}
+			out := lane{cand, -1}
+			for ej := 0; ej < vcs; ej++ {
+				if rt.owner[lane{cand, ej}] == nil {
+					out = lane{cand, ej}
+					break
+				}
+			}
+			if out.vc < 0 {
+				continue // all ejection lanes busy
+			}
+			if node != w.packet.Dst {
+				n.kill(w, "misroute")
+				return lane{}, false
+			}
+			if a := n.accepts[node]; a != nil && !a(w.packet) {
+				n.stats.Rejected++
+				n.kill(w, "rejected")
+				return lane{}, false
+			}
+			rt.owner[out] = w
+			rt.route[w.id] = out
+			rt.inputs[port][vc] = rt.inputs[port][vc][1:] // consume the head
+			usedOut[cand] = true
+			n.stats.FlitMoves++
+			w.blocked = 0
+			return lane{}, false // head consumed; nothing more to move
+		}
+		// Virtual-channel discipline: channel 0 is the escape lane,
+		// restricted to the deterministic first candidate; higher
+		// channels may take any productive candidate.
+		for outVC := 0; outVC < vcs; outVC++ {
+			if outVC == 0 && ci != 0 && n.cfg.Mode == Adaptive && vcs > 1 {
+				continue
+			}
+			out := lane{cand, outVC}
+			if rt.owner[out] != nil {
+				continue
+			}
+			if len(n.routers[peer].inputs[peerPort][outVC]) >= n.cfg.BufferFlits {
+				continue
+			}
+			rt.owner[out] = w
+			rt.route[w.id] = out
+			return out, true
+		}
+	}
+	n.noteBlocked(w)
+	return lane{}, false
+}
+
+// noteBlocked ages a blocked head and applies the CR kill timeout.
+func (n *Net) noteBlocked(w *worm) {
+	w.blocked++
+	if n.cfg.Mode == CR && w.blocked > uint64(n.cfg.KillTimeout) {
+		n.kill(w, "timeout")
+	}
+}
+
+// finishWorm completes delivery: the tail has been accepted, which in CR is
+// the end-to-end acknowledgement.
+func (n *Net) finishWorm(r int, out lane, w *worm, node int) {
+	rt := &n.routers[r]
+	if rt.owner[out] == w {
+		delete(rt.owner, out)
+	}
+	delete(rt.route, w.id)
+	w.state = wormDelivered
+	n.inflight--
+	latency := n.cycle - w.injected
+	n.stats.LatencySum += latency
+	n.stats.LatencyCount++
+	if latency > n.stats.LatencyMax {
+		n.stats.LatencyMax = latency
+	}
+	n.recvq[node] = append(n.recvq[node], w.packet)
+	n.queued[w.packet.Src]--
+	key := flowKey{w.packet.Src, w.packet.Dst}
+	if f := n.flows[key]; f != nil && f.active == w {
+		f.active = nil
+	}
+}
+
+// kill tears down a worm's path everywhere — the CR path-release mechanism
+// (in non-CR modes it only fires on misroutes, which are topology bugs).
+// The worm retries after a backoff, re-entering its flow queue at the front
+// so transmission order is preserved; retry exhaustion fails the injection.
+func (n *Net) kill(w *worm, reason string) {
+	if w.state == wormKilled || w.state == wormFailed {
+		return
+	}
+	w.state = wormKilled
+	n.inflight-- // re-queued (or failed) below; no longer in the network
+	n.stats.Kills++
+
+	// Sweep the worm's flits and resource claims out of the network.
+	for r := range n.routers {
+		rt := &n.routers[r]
+		for port := range rt.inputs {
+			for vc := range rt.inputs[port] {
+				buf := rt.inputs[port][vc][:0]
+				for _, fl := range rt.inputs[port][vc] {
+					if fl.worm != w {
+						buf = append(buf, fl)
+					}
+				}
+				rt.inputs[port][vc] = buf
+			}
+		}
+		if out, ok := rt.route[w.id]; ok {
+			if rt.owner[out] == w {
+				delete(rt.owner, out)
+			}
+			delete(rt.route, w.id)
+		}
+	}
+
+	key := flowKey{w.packet.Src, w.packet.Dst}
+	f := n.flows[key]
+	if f != nil && f.active == w {
+		f.active = nil
+	}
+	if n.injecting[w.packet.Src] == w {
+		n.injecting[w.packet.Src] = nil
+	}
+	if w.retries >= n.cfg.MaxRetries {
+		w.state = wormFailed
+		n.stats.FailedWorms++
+		n.queued[w.packet.Src]--
+		n.stats.Dropped++
+		return
+	}
+	w.retries++
+	n.stats.Retries++
+	w.state = wormQueued
+	w.sent = 0
+	w.blocked = 0
+	// Exponential backoff with deterministic per-worm jitter: two worms
+	// that killed each other must not retry in lockstep, or they collide
+	// and kill each other forever (retry livelock).
+	shift := w.retries
+	if shift > 6 {
+		shift = 6
+	}
+	backoff := uint64(n.cfg.RetryBackoff) << shift
+	jitter := w.id % uint64(n.cfg.RetryBackoff+1)
+	w.wakeAt = n.cycle + backoff + jitter
+	if f != nil {
+		f.queue = append([]*worm{w}, f.queue...)
+	}
+}

@@ -1,0 +1,373 @@
+// Package flitnet is a flit-level wormhole-routed network simulator. It
+// demonstrates the router mechanisms behind the two behavioral substrates
+// of package network:
+//
+//   - Deterministic routing (dimension-order on a mesh, fixed up-path on a
+//     fat tree) delivers each flow over a single path, preserving order.
+//   - Adaptive routing exploits the fat tree's redundant up links (or the
+//     mesh's productive directions); worms of one flow can take different
+//     paths and arrive out of order — the CM-5-style network feature whose
+//     software cost the paper measures.
+//   - Compressionless Routing mode adds the Section 4 services: a worm's
+//     header may be rejected by a resource-checking destination (tearing
+//     down the path without deadlock), a worm whose head cannot advance
+//     for KillTimeout cycles is killed and retried from the source
+//     (deadlock recovery without acceptance guarantees), short worms are
+//     padded so the tail's acceptance doubles as an end-to-end
+//     acknowledgement, and worms of one flow are issued one at a time so
+//     transmission order is preserved even across kills and retries.
+//
+// A packet becomes a worm of single-word flits: one head (routing
+// information), one flit per payload word, and one tail. Routers have one
+// FIFO input buffer per port; a worm's head claims an output port, its body
+// follows the claimed path, and the tail releases it — classic wormhole
+// flow control. The simulation is cycle-stepped and fully deterministic.
+package flitnet
+
+import (
+	"errors"
+	"fmt"
+
+	"msglayer/internal/network"
+	"msglayer/internal/topology"
+)
+
+// Mode selects the routing discipline.
+type Mode int
+
+// Routing modes.
+const (
+	// Deterministic follows the first route candidate everywhere:
+	// single-path, order-preserving, no recovery.
+	Deterministic Mode = iota
+	// Adaptive takes the first route candidate whose output is free,
+	// permitting multipath and hence out-of-order delivery.
+	Adaptive
+	// CR is Compressionless Routing: deterministic paths plus header
+	// rejection, kill-and-retry, padding, and per-flow serialization.
+	CR
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Deterministic:
+		return "deterministic"
+	case Adaptive:
+		return "adaptive"
+	case CR:
+		return "cr"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config assembles a flit network.
+type Config struct {
+	// Topology is required.
+	Topology topology.Topology
+	// Mode selects the routing discipline.
+	Mode Mode
+	// PacketWords is the payload capacity of one packet. Defaults to 4.
+	PacketWords int
+	// BufferFlits is the capacity of each router input buffer. Defaults
+	// to 4.
+	BufferFlits int
+	// InjectQueue bounds worms waiting at each node. Defaults to 16;
+	// injection beyond it backpressures.
+	InjectQueue int
+	// KillTimeout (CR only) is how many cycles a worm's head may sit
+	// blocked before the worm is killed and retried. Defaults to 64.
+	KillTimeout int
+	// RetryBackoff (CR only) is how many cycles a killed worm waits
+	// before re-entering its flow queue. Defaults to 16.
+	RetryBackoff int
+	// MaxRetries (CR only) bounds kill/reject retries per worm before
+	// the injection is reported failed. Defaults to 64.
+	MaxRetries int
+	// VirtualChannels multiplexes each physical link over V virtual
+	// channels (Dally's flow control, one of the features the paper
+	// names as a source of out-of-order delivery). Each input port gets
+	// V independent FIFOs; a worm claims one (port, vc) lane per hop,
+	// and a physical link still carries at most one flit per cycle, so
+	// worms sharing a link interleave instead of serializing. In
+	// adaptive mode channel 0 is the escape lane, restricted to the
+	// deterministic first route candidate (Duato's discipline). Defaults
+	// to 1. CR mode always uses a single channel: its padding and
+	// implicit-acknowledgement semantics assume the worm owns its path.
+	VirtualChannels int
+}
+
+type flitKind uint8
+
+const (
+	flitHead flitKind = iota
+	flitBody
+	flitPad
+	flitTail
+)
+
+type flit struct {
+	worm    *worm
+	kind    flitKind
+	arrived uint64 // cycle the flit entered its current buffer
+}
+
+type wormState uint8
+
+const (
+	wormQueued wormState = iota
+	wormInjecting
+	wormInFlight // fully injected, tail still traveling
+	wormDelivered
+	wormKilled
+	wormFailed
+)
+
+type worm struct {
+	id       uint64
+	packet   network.Packet
+	state    wormState
+	flits    int // total flits including head, pads, tail
+	sent     int // flits pushed into the network so far
+	retries  int
+	blocked  uint64 // consecutive cycles the head could not advance
+	wakeAt   uint64 // cycle a killed worm re-enters its flow queue
+	srcVC    int    // the virtual channel the worm injects on
+	injected uint64 // cycle the packet entered the inject queue
+}
+
+// lane addresses one virtual channel of one port.
+type lane struct {
+	port, vc int
+}
+
+type router struct {
+	inputs [][][]flit      // [port][vc] FIFO
+	owner  map[lane]*worm  // output lane -> owning worm
+	route  map[uint64]lane // worm id -> claimed output lane here
+}
+
+type flowKey struct {
+	src, dst int
+}
+
+type flow struct {
+	queue  []*worm // worms awaiting injection, in order
+	active *worm   // the worm currently entering the network (CR: at most one in flight)
+}
+
+// Stats extends the behavioral substrate counters with flit-level detail.
+type Stats struct {
+	network.Stats
+	Kills        uint64 // worms killed (timeout or rejection)
+	Retries      uint64 // kill/reject retries performed
+	Cycles       uint64 // simulated cycles
+	FlitMoves    uint64 // individual flit hops
+	PadFlits     uint64 // padding flits injected (CR)
+	FailedWorms  uint64 // worms that exhausted their retries
+	LatencySum   uint64 // total queue-to-tail-delivery latency, cycles
+	LatencyMax   uint64 // worst packet latency observed, cycles
+	LatencyCount uint64 // packets contributing to LatencySum
+}
+
+// MeanLatency returns the average injection-to-delivery latency in cycles.
+func (s Stats) MeanLatency() float64 {
+	if s.LatencyCount == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.LatencyCount)
+}
+
+// Net is the flit-level network. It implements network.Network (injection
+// may backpressure; packets appear at TryRecv once their tail is accepted)
+// plus Tick to advance simulated time.
+type Net struct {
+	cfg       Config
+	routers   []router
+	flows     map[flowKey]*flow
+	order     []flowKey // deterministic iteration order for flows
+	recvq     [][]network.Packet
+	accepts   []network.Acceptor
+	nextID    uint64
+	cycle     uint64
+	stats     Stats
+	queued    map[int]int   // worms queued or active per node, for backpressure
+	injecting map[int]*worm // the worm currently occupying each node's send path
+	inflight  int           // worms injecting or traveling
+}
+
+// New builds the network.
+func New(cfg Config) (*Net, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("flitnet: nil topology")
+	}
+	if cfg.PacketWords == 0 {
+		cfg.PacketWords = 4
+	}
+	if cfg.PacketWords < 1 {
+		return nil, fmt.Errorf("flitnet: packet payload %d", cfg.PacketWords)
+	}
+	if cfg.BufferFlits == 0 {
+		cfg.BufferFlits = 4
+	}
+	if cfg.BufferFlits < 2 {
+		return nil, fmt.Errorf("flitnet: buffers need >= 2 flits, got %d", cfg.BufferFlits)
+	}
+	if cfg.InjectQueue == 0 {
+		cfg.InjectQueue = 16
+	}
+	if cfg.KillTimeout == 0 {
+		cfg.KillTimeout = 64
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 16
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 64
+	}
+	if cfg.VirtualChannels == 0 {
+		cfg.VirtualChannels = 1
+	}
+	if cfg.VirtualChannels < 1 || cfg.VirtualChannels > 8 {
+		return nil, fmt.Errorf("flitnet: virtual channels must be 1-8, got %d", cfg.VirtualChannels)
+	}
+	if cfg.Mode == CR {
+		cfg.VirtualChannels = 1 // CR worms own their path end to end
+	}
+	n := &Net{
+		cfg:       cfg,
+		routers:   make([]router, cfg.Topology.NumRouters()),
+		flows:     make(map[flowKey]*flow),
+		recvq:     make([][]network.Packet, cfg.Topology.Nodes()),
+		accepts:   make([]network.Acceptor, cfg.Topology.Nodes()),
+		queued:    make(map[int]int),
+		injecting: make(map[int]*worm),
+	}
+	for r := range n.routers {
+		ports := cfg.Topology.Ports(r)
+		inputs := make([][][]flit, ports)
+		for p := range inputs {
+			inputs[p] = make([][]flit, cfg.VirtualChannels)
+		}
+		n.routers[r] = router{
+			inputs: inputs,
+			owner:  make(map[lane]*worm),
+			route:  make(map[uint64]lane),
+		}
+	}
+	return n, nil
+}
+
+// MustNew is New that panics on bad configuration.
+func MustNew(cfg Config) *Net {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Name implements network.Network.
+func (n *Net) Name() string {
+	return fmt.Sprintf("flitnet(%s,%s)", n.cfg.Topology.Name(), n.cfg.Mode)
+}
+
+// Nodes implements network.Network.
+func (n *Net) Nodes() int { return n.cfg.Topology.Nodes() }
+
+// PacketWords implements network.Network.
+func (n *Net) PacketWords() int { return n.cfg.PacketWords }
+
+// SetAcceptor installs a destination's header-acceptance check (CR mode).
+func (n *Net) SetAcceptor(node int, a network.Acceptor) error {
+	if node < 0 || node >= n.Nodes() {
+		return fmt.Errorf("flitnet: no node %d", node)
+	}
+	n.accepts[node] = a
+	return nil
+}
+
+// Inject implements network.Network: the packet becomes a worm queued at
+// its source node.
+func (n *Net) Inject(p network.Packet) error {
+	if p.Src < 0 || p.Src >= n.Nodes() || p.Dst < 0 || p.Dst >= n.Nodes() {
+		return fmt.Errorf("%w: src=%d dst=%d", network.ErrBadPacket, p.Src, p.Dst)
+	}
+	if len(p.Data) > n.cfg.PacketWords {
+		return fmt.Errorf("%w: %d words", network.ErrBadPacket, len(p.Data))
+	}
+	if n.queued[p.Src] >= n.cfg.InjectQueue {
+		n.stats.Backpressure++
+		return network.ErrBackpressure
+	}
+	data := make([]network.Word, len(p.Data))
+	copy(data, p.Data)
+	p.Data = data
+
+	w := &worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle}
+	n.nextID++
+	w.flits = n.wormFlits(p)
+	key := flowKey{p.Src, p.Dst}
+	f := n.flows[key]
+	if f == nil {
+		f = &flow{}
+		n.flows[key] = f
+		n.order = append(n.order, key)
+	}
+	f.queue = append(f.queue, w)
+	n.queued[p.Src]++
+	n.stats.Injected++
+	return nil
+}
+
+// wormFlits computes a worm's length: head + payload + tail, padded in CR
+// mode to the deterministic path length so the worm spans source to
+// destination (the tail's acceptance is then an end-to-end acknowledgement).
+func (n *Net) wormFlits(p network.Packet) int {
+	flits := 2 + len(p.Data)
+	if n.cfg.Mode == CR {
+		if path := topology.DeterministicPath(n.cfg.Topology, p.Src, p.Dst); path != nil {
+			if need := len(path) + 2; need > flits {
+				n.stats.PadFlits += uint64(need - flits)
+				flits = need
+			}
+		}
+	}
+	return flits
+}
+
+// TryRecv implements network.Network.
+func (n *Net) TryRecv(node int) (network.Packet, bool) {
+	if node < 0 || node >= n.Nodes() || len(n.recvq[node]) == 0 {
+		return network.Packet{}, false
+	}
+	p := n.recvq[node][0]
+	n.recvq[node] = n.recvq[node][1:]
+	n.stats.Delivered++
+	return p, true
+}
+
+// Pending implements network.Network: worms not yet fully delivered plus
+// undelivered packets.
+func (n *Net) Pending() int {
+	count := n.inflight
+	for _, f := range n.flows {
+		count += len(f.queue)
+	}
+	for _, q := range n.recvq {
+		count += len(q)
+	}
+	return count
+}
+
+// Stats implements network.Network.
+func (n *Net) Stats() network.Stats { return n.stats.Stats }
+
+// FlitStats returns the extended counters.
+func (n *Net) FlitStats() Stats { return n.stats }
+
+// Cycle returns the current simulated cycle.
+func (n *Net) Cycle() uint64 { return n.cycle }
+
+var _ network.Network = (*Net)(nil)

@@ -1,0 +1,108 @@
+package integration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+	"msglayer/internal/protocols"
+)
+
+// The central accounting invariant, checked across random configurations:
+// whatever the network does (reorder policy, packet losses, ack grouping),
+// every gauge cell equals the calibrated schedule composed with the run's
+// actual event counts. The tables are trustworthy because this holds for
+// arbitrary executions, not just the paper's configurations.
+func TestStreamAccountingConsistencyProperty(t *testing.T) {
+	prop := func(packetsRaw, ackRaw uint8, seed int16, windowRaw uint8, lossy bool) bool {
+		packets := int(packetsRaw%60) + 4
+		ackGroup := []int{1, 2, 4}[int(ackRaw)%3]
+		window := int(windowRaw%10) + 2
+
+		cfg := network.CM5Config{
+			Nodes:   2,
+			Reorder: network.WindowShuffle(window, int64(seed)),
+		}
+		if lossy {
+			cfg.Faults = &network.EveryNth{N: 17, What: network.Drop}
+		}
+		net := network.MustCM5Net(cfg)
+		m := machine.MustNew(net, cost.MustPaperSchedule(4))
+		m.Node(0).SetRole(cost.Source)
+		m.Node(1).SetRole(cost.Destination)
+
+		src := protocols.MustNewStream(cmam.NewEndpoint(m.Node(0)), protocols.StreamConfig{
+			AckGroup: ackGroup, NackThreshold: 3, RetransmitAfter: 64,
+		})
+		delivered := 0
+		dst := protocols.MustNewStream(cmam.NewEndpoint(m.Node(1)), protocols.StreamConfig{
+			AckGroup: ackGroup, NackThreshold: 3,
+			OnDeliver: func(int, uint8, []network.Word) { delivered++ },
+		})
+		conn := src.Open(1, 0)
+		for i := 0; i < packets; i++ {
+			if err := conn.Send(1, 2, 3, 4); err != nil {
+				return false
+			}
+		}
+		err := machine.Run(1_000_000,
+			machine.StepFunc(func() (bool, error) { return conn.Idle() && delivered == packets, src.Pump() }),
+			machine.StepFunc(func() (bool, error) { return conn.Idle() && delivered == packets, dst.Pump() }),
+		)
+		if err != nil || delivered != packets {
+			return false
+		}
+
+		s := m.Node(0).Sched
+		sg, dg := m.Node(0).Gauge, m.Node(1).Gauge
+
+		// Destination in-order cell = events x schedule.
+		wantDstOrd := s.InOrderArrival.Vec().Scale(dg.Events("stream.inorder")).
+			Add(s.OutOfOrderArrival.Vec().Scale(dg.Events("stream.outoforder"))).
+			Add(s.DrainBuffered.Vec().Scale(dg.Events("stream.drain")))
+		if dg.Cell(cost.Destination, cost.InOrder) != wantDstOrd {
+			return false
+		}
+		// Destination fault tolerance = acks sent (including duplicate-
+		// triggered re-acks and NACKs, which share the send bundle).
+		ackSends := dg.Events("stream.ack.sent") + dg.Events("stream.nack.sent")
+		if dg.Cell(cost.Destination, cost.FaultTol) != s.StreamAckSend.Vec().Scale(ackSends) {
+			return false
+		}
+		// Source fault tolerance = buffered packets + processed acks/nacks
+		// + retransmissions.
+		buffered := sg.Events("stream.srcbuffer")
+		acksRecv := sg.Events("stream.ack.recv") + sg.Events("stream.nack.recv")
+		retrans := sg.Events("stream.retransmit")
+		wantSrcFT := s.SourceBufferPacket.Vec().Scale(buffered).
+			Add(s.StreamAckRecv.Vec().Scale(acksRecv)).
+			Add(s.Retransmit.Vec().Scale(retrans))
+		if sg.Cell(cost.Source, cost.FaultTol) != wantSrcFT {
+			return false
+		}
+		// Source base = injections (originals; retransmitted sends charge
+		// fault tolerance) and in-order = per-buffered-packet sequencing.
+		if sg.Cell(cost.Source, cost.Base).Sub(retryProbeSpend(sg)) !=
+			s.StreamSendPacket.Vec().Scale(buffered) {
+			return false
+		}
+		if sg.Cell(cost.Source, cost.InOrder) != s.SeqPerPacket.Vec().Scale(buffered) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// retryProbeSpend returns the base-cost charges attributable to injection
+// backpressure probes (the only other contributor to the source's Base
+// cell in a stream run).
+func retryProbeSpend(g *cost.Gauge) cost.Vec {
+	n := g.Events("stream.backpressure")
+	return cost.Vec{Reg: 2 * n, Dev: n}
+}

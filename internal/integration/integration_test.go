@@ -1,0 +1,355 @@
+// Package integration runs the full messaging stack — cost schedule, NI,
+// CMAM layer, protocols — over the flit-level wormhole networks instead of
+// the behavioral substrates, cross-validating the two levels of the
+// reproduction: the instruction counts charged by the protocols must be
+// explained exactly by whatever delivery behavior the routers actually
+// produced.
+package integration
+
+import (
+	"testing"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/crmsg"
+	"msglayer/internal/flitnet"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+	"msglayer/internal/protocols"
+	"msglayer/internal/topology"
+)
+
+// flitMachine assembles a machine over a flit-level network.
+func flitMachine(t *testing.T, cfg flitnet.Config) (*machine.Machine, *flitnet.Net) {
+	t.Helper()
+	// A deep inject queue keeps the paper's minimal execution path: no
+	// injection backpressure, so no retry-probe charges.
+	if cfg.InjectQueue == 0 {
+		cfg.InjectQueue = 4096
+	}
+	net := flitnet.MustNew(cfg)
+	m := machine.MustNew(net, cost.MustPaperSchedule(net.PacketWords()))
+	return m, net
+}
+
+// ticker advances the flit network each scheduling round.
+func ticker(net *flitnet.Net, done func() bool) machine.Stepper {
+	return machine.StepFunc(func() (bool, error) {
+		net.Tick(1)
+		return done(), nil
+	})
+}
+
+// pattern builds a recognizable payload.
+func pattern(words int) []network.Word {
+	data := make([]network.Word, words)
+	for i := range data {
+		data[i] = network.Word(i*11 + 5)
+	}
+	return data
+}
+
+// The finite-sequence protocol's costs are delivery-order independent
+// (carried offsets), so over a real wormhole fat tree with adaptive
+// routing it must still charge exactly the paper's Table 2 values.
+func TestFiniteCMAMOverFlitFatTree(t *testing.T) {
+	m, net := flitMachine(t, flitnet.Config{
+		Topology: topology.MustFatTree(4, 2),
+		Mode:     flitnet.Adaptive,
+	})
+	src, dst := m.Node(0), m.Node(15)
+	src.SetRole(cost.Source)
+	dst.SetRole(cost.Destination)
+
+	srcSvc := protocols.NewFinite(cmam.NewEndpoint(src))
+	dstSvc := protocols.NewFinite(cmam.NewEndpoint(dst))
+	var received []network.Word
+	dstSvc.OnReceive = func(_ int, buf []network.Word) { received = buf }
+
+	data := pattern(64) // 16 packets
+	tr, err := srcSvc.Start(15, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := tr.Done
+	err = machine.Run(100000,
+		machine.StepFunc(func() (bool, error) { return done(), srcSvc.Pump() }),
+		machine.StepFunc(func() (bool, error) { return done(), dstSvc.Pump() }),
+		ticker(net, done),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if received[i] != data[i] {
+			t.Fatalf("word %d corrupted over the flit network", i)
+		}
+	}
+	if src.Gauge.Events("finite.backpressure") != 0 {
+		t.Fatal("unexpected backpressure; cost assertions assume the minimal path")
+	}
+
+	// Exactly the Table 2 cells at p = 16.
+	const p = 16
+	wantSrc := map[cost.Feature]cost.Vec{
+		cost.Base:       cost.V(2, 1, 0).Add(cost.V(15, 2, 5).Scale(p)),
+		cost.BufferMgmt: cost.V(36, 1, 10),
+		cost.InOrder:    cost.V(2, 0, 0).Scale(p),
+		cost.FaultTol:   cost.V(22, 0, 5),
+	}
+	wantDst := map[cost.Feature]cost.Vec{
+		cost.Base:       cost.V(14, 3, 1).Add(cost.V(12, 2, 4).Scale(p)),
+		cost.BufferMgmt: cost.V(79, 12, 10),
+		cost.InOrder:    cost.V(1, 0, 0).Add(cost.V(3, 0, 0).Scale(p)),
+		cost.FaultTol:   cost.V(14, 1, 5),
+	}
+	for f, v := range wantSrc {
+		if got := src.Gauge.Cell(cost.Source, f); got != v {
+			t.Errorf("src %s = %v, want %v", f, got, v)
+		}
+	}
+	for f, v := range wantDst {
+		if got := dst.Gauge.Cell(cost.Destination, f); got != v {
+			t.Errorf("dst %s = %v, want %v", f, got, v)
+		}
+	}
+}
+
+// The indefinite-sequence protocol over the adaptive fat tree under
+// hotspot contention: delivery must be exact and in order, and the
+// destination's in-order delivery cost must be explained exactly by the
+// out-of-order arrivals the routers actually produced.
+func TestStreamCMAMOverFlitFatTreeWithContention(t *testing.T) {
+	m, net := flitMachine(t, flitnet.Config{
+		Topology:    topology.MustFatTree(4, 2),
+		Mode:        flitnet.Adaptive,
+		BufferFlits: 3,
+	})
+	const dstNode = 15
+	sources := []int{3, 7, 11}
+	const packets = 40
+
+	dst := m.Node(dstNode)
+	dst.SetRole(cost.Destination)
+	delivered := map[int][]network.Word{}
+	dstSvc := protocols.MustNewStream(cmam.NewEndpoint(dst), protocols.StreamConfig{
+		NackThreshold: -1,
+		OnDeliver: func(src int, _ uint8, data []network.Word) {
+			delivered[src] = append(delivered[src], data[0])
+		},
+	})
+
+	type sender struct {
+		svc  *protocols.Stream
+		conn *protocols.Conn
+	}
+	senders := make([]sender, len(sources))
+	for i, s := range sources {
+		node := m.Node(s)
+		node.SetRole(cost.Source)
+		svc := protocols.MustNewStream(cmam.NewEndpoint(node), protocols.StreamConfig{NackThreshold: -1})
+		conn := svc.Open(dstNode, 0)
+		for seq := 0; seq < packets; seq++ {
+			if err := conn.Send(network.Word(seq)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		senders[i] = sender{svc, conn}
+	}
+
+	done := func() bool {
+		for _, s := range senders {
+			if !s.conn.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	steppers := []machine.Stepper{
+		machine.StepFunc(func() (bool, error) { return done(), dstSvc.Pump() }),
+		ticker(net, done),
+	}
+	for _, s := range senders {
+		svc := s.svc
+		steppers = append(steppers, machine.StepFunc(func() (bool, error) { return done(), svc.Pump() }))
+	}
+	if err := machine.Run(1_000_000, steppers...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every flow delivered exactly, in order, despite router-level
+	// reordering.
+	for _, s := range sources {
+		seqs := delivered[s]
+		if len(seqs) != packets {
+			t.Fatalf("flow %d delivered %d of %d", s, len(seqs), packets)
+		}
+		for i, w := range seqs {
+			if w != network.Word(i) {
+				t.Fatalf("flow %d delivery %d = %d (user-visible order violated)", s, i, w)
+			}
+		}
+	}
+
+	// The mechanism really reordered: the protocol had to buffer.
+	ooo := dst.Gauge.Events("stream.outoforder")
+	drains := dst.Gauge.Events("stream.drain")
+	if ooo == 0 {
+		t.Error("no out-of-order arrivals; hotspot contention not exercised")
+	}
+	if ooo != drains {
+		t.Errorf("ooo %d != drains %d (every buffered packet drains once)", ooo, drains)
+	}
+
+	// Cross-validation: the destination's in-order cell equals the event
+	// counts composed with the schedule — whatever the network did.
+	inorder := dst.Gauge.Events("stream.inorder")
+	want := cost.V(5, 0, 0).Scale(inorder).
+		Add(cost.V(20, 13, 0).Scale(ooo)).
+		Add(cost.V(10, 10, 0).Scale(drains))
+	if got := dst.Gauge.Cell(cost.Destination, cost.InOrder); got != want {
+		t.Errorf("dst in-order = %v, want %v from events (in=%d ooo=%d drain=%d)",
+			got, want, inorder, ooo, drains)
+	}
+}
+
+// The CR messaging layer over the CR-mode flit network: in-order, reliable,
+// rejection-capable hardware carries the Figure 5 protocol with the exact
+// Section 4 costs.
+func TestCRFiniteOverFlitMesh(t *testing.T) {
+	m, net := flitMachine(t, flitnet.Config{
+		Topology: topology.MustMesh(4, 2),
+		Mode:     flitnet.CR,
+	})
+	src, dst := m.Node(0), m.Node(7)
+	src.SetRole(cost.Source)
+	dst.SetRole(cost.Destination)
+
+	srcSvc, err := crmsg.NewFinite(cmam.NewEndpoint(src), net, crmsg.FiniteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received []network.Word
+	dstSvc, err := crmsg.NewFinite(cmam.NewEndpoint(dst), net, crmsg.FiniteConfig{
+		OnReceive: func(_ int, buf []network.Word) { received = buf },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := pattern(32) // 8 packets
+	tr, err := srcSvc.Start(7, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := func() bool { return tr.Done() && received != nil }
+	err = machine.Run(100000,
+		machine.StepFunc(func() (bool, error) { return done(), srcSvc.Pump() }),
+		machine.StepFunc(func() (bool, error) { return done(), dstSvc.Pump() }),
+		ticker(net, done),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if received[i] != data[i] {
+			t.Fatalf("word %d corrupted", i)
+		}
+	}
+
+	// Exact Section 4 costs at p = 8, and zero overhead features.
+	const p = 8
+	if got := src.Gauge.Cell(cost.Source, cost.Base); got != cost.V(2, 1, 0).Add(cost.V(15, 2, 5).Scale(p)) {
+		t.Errorf("src base = %v", got)
+	}
+	wantDstBase := cost.V(11, 2, 1).Add(cost.V(11, 2, 4).Scale(p)).Add(cost.V(6, 0, 0))
+	if got := dst.Gauge.Cell(cost.Destination, cost.Base); got != wantDstBase {
+		t.Errorf("dst base = %v, want %v", got, wantDstBase)
+	}
+	if got := dst.Gauge.Cell(cost.Destination, cost.BufferMgmt); got != cost.V(6, 2, 0) {
+		t.Errorf("dst buffer mgmt = %v", got)
+	}
+	for _, f := range []cost.Feature{cost.InOrder, cost.FaultTol} {
+		if got := src.Gauge.Cell(cost.Source, f).Add(dst.Gauge.Cell(cost.Destination, f)); !got.IsZero() {
+			t.Errorf("%s charged %v on the CR substrate", f, got)
+		}
+	}
+}
+
+// Header rejection end to end at the flit level: a resource-limited
+// receiver rejects a second transfer's header inside the router fabric;
+// the worm is killed, retried, and both transfers complete.
+func TestCRFiniteFlitHeaderRejection(t *testing.T) {
+	m, net := flitMachine(t, flitnet.Config{
+		Topology:     topology.MustMesh(3, 1),
+		Mode:         flitnet.CR,
+		RetryBackoff: 4,
+	})
+	src, dst := m.Node(0), m.Node(2)
+	src.SetRole(cost.Source)
+	dst.SetRole(cost.Destination)
+
+	other := m.Node(1)
+	other.SetRole(cost.Source)
+
+	svcA, err := crmsg.NewFinite(cmam.NewEndpoint(src), net, crmsg.FiniteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB, err := crmsg.NewFinite(cmam.NewEndpoint(other), net, crmsg.FiniteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]network.Word
+	dstSvc, err := crmsg.NewFinite(cmam.NewEndpoint(dst), net, crmsg.FiniteConfig{
+		MaxConcurrent: 1,
+		OnReceive:     func(_ int, buf []network.Word) { got = append(got, buf) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a long transfer from node 0 opens at the receiver.
+	a, err := svcA.Start(2, pattern(40)) // 10 packets, draining serially
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000 && dst.Gauge.Events("crfinite.header.recv") == 0; i++ {
+		net.Tick(1)
+		if err := svcA.Pump(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dstSvc.Pump(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.Gauge.Events("crfinite.header.recv") == 0 {
+		t.Fatal("first transfer never opened at the receiver")
+	}
+
+	// Phase 2: a second transfer from node 1 — its header hits a full
+	// receiver inside the router fabric and is rejected.
+	b, err := svcB.Start(2, pattern(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := func() bool { return a.Done() && b.Done() && len(got) == 2 }
+	err = machine.Run(1_000_000,
+		machine.StepFunc(func() (bool, error) { return done(), svcA.Pump() }),
+		machine.StepFunc(func() (bool, error) { return done(), svcB.Pump() }),
+		machine.StepFunc(func() (bool, error) { return done(), dstSvc.Pump() }),
+		ticker(net, done),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("completed %d transfers", len(got))
+	}
+	if len(got[0]) != 40 || len(got[1]) != 8 {
+		t.Errorf("transfer sizes = %d, %d; want 40, 8", len(got[0]), len(got[1]))
+	}
+	if net.Stats().Rejected == 0 || net.FlitStats().Kills == 0 {
+		t.Errorf("expected flit-level kills and rejections: %+v", net.FlitStats())
+	}
+}

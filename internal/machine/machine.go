@@ -1,0 +1,208 @@
+// Package machine assembles processing nodes — each an instruction-cost
+// gauge, a calibration schedule, and a network interface — around a shared
+// network substrate, and provides a deterministic round-robin scheduler for
+// running messaging protocols to completion.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"msglayer/internal/cost"
+	"msglayer/internal/network"
+	"msglayer/internal/ni"
+)
+
+// Node is one processing node of the simulated parallel machine.
+type Node struct {
+	// ID is the node number, 0-based.
+	ID int
+	// Gauge accumulates the node's dynamic instruction counts.
+	Gauge *cost.Gauge
+	// Sched is the calibration schedule the node's messaging layer
+	// charges against.
+	Sched *cost.Schedule
+	// NI is the node's memory-mapped network interface.
+	NI *ni.NI
+	// ReplyNI, when non-nil, is a second interface onto a separate
+	// network. The CM-5 provides two identical data networks; CMAM sends
+	// requests on one and replies on the other, which makes round-trip
+	// protocols deadlock-safe without software buffer reservation (the
+	// paper's footnote 6). Built by NewDual.
+	ReplyNI *ni.NI
+	// EventListener, when set, observes every named protocol event in
+	// emission order (the trace package uses this to reconstruct the
+	// paper's protocol step diagrams).
+	EventListener func(name string)
+
+	role cost.Role
+}
+
+// Role returns the node's current accounting role: whether its instruction
+// charges count toward the Source or Destination column of the tables.
+func (n *Node) Role() cost.Role { return n.role }
+
+// SetRole sets the node's accounting role. A node that both sends and
+// receives in one experiment (for example when acknowledging) keeps a single
+// role — the paper attributes acknowledgement sends to the destination node
+// and acknowledgement receptions to the source node, which is exactly the
+// role each node holds for the transfer being accounted.
+func (n *Node) SetRole(r cost.Role) { n.role = r }
+
+// Charge records a calibrated bundle against the node's role and a feature.
+func (n *Node) Charge(f cost.Feature, items cost.Items) {
+	n.Gauge.Charge(n.role, f, items)
+}
+
+// Event records a named protocol event on the node's gauge and notifies the
+// listener, if any.
+func (n *Node) Event(name string) {
+	n.Gauge.CountEvent(name)
+	if n.EventListener != nil {
+		n.EventListener(name)
+	}
+}
+
+// Machine is a set of nodes sharing one network substrate.
+type Machine struct {
+	Net   network.Network
+	Nodes []*Node
+}
+
+// New builds a machine with one node per network endpoint. All nodes share
+// the schedule; each gets its own gauge and NI.
+func New(net network.Network, sched *cost.Schedule) (*Machine, error) {
+	if net == nil || sched == nil {
+		return nil, errors.New("machine: nil network or schedule")
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	if sched.PacketWords != net.PacketWords() {
+		return nil, fmt.Errorf("machine: schedule packet size %d != network packet size %d",
+			sched.PacketWords, net.PacketWords())
+	}
+	m := &Machine{Net: net}
+	for id := 0; id < net.Nodes(); id++ {
+		nic, err := ni.New(id, net)
+		if err != nil {
+			return nil, err
+		}
+		m.Nodes = append(m.Nodes, &Node{
+			ID:    id,
+			Gauge: cost.NewGauge(),
+			Sched: sched,
+			NI:    nic,
+		})
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on bad configuration.
+func MustNew(net network.Network, sched *cost.Schedule) *Machine {
+	m, err := New(net, sched)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewDual builds a machine whose nodes have two network interfaces: the
+// primary (request) network and a separate reply network, modeling the
+// CM-5's two data networks. Both networks must have the same node count
+// and packet size.
+func NewDual(request, reply network.Network, sched *cost.Schedule) (*Machine, error) {
+	if reply == nil {
+		return nil, errors.New("machine: nil reply network")
+	}
+	m, err := New(request, sched)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Nodes() != request.Nodes() {
+		return nil, fmt.Errorf("machine: reply network has %d nodes, request has %d",
+			reply.Nodes(), request.Nodes())
+	}
+	if reply.PacketWords() != request.PacketWords() {
+		return nil, fmt.Errorf("machine: reply network packet size %d != request %d",
+			reply.PacketWords(), request.PacketWords())
+	}
+	for id, n := range m.Nodes {
+		nic, err := ni.New(id, reply)
+		if err != nil {
+			return nil, err
+		}
+		n.ReplyNI = nic
+	}
+	return m, nil
+}
+
+// Node returns node id, panicking on out-of-range ids (a harness bug).
+func (m *Machine) Node(id int) *Node {
+	if id < 0 || id >= len(m.Nodes) {
+		panic(fmt.Sprintf("machine: no node %d", id))
+	}
+	return m.Nodes[id]
+}
+
+// TotalGauge returns a fresh gauge holding the sum over all nodes.
+func (m *Machine) TotalGauge() *cost.Gauge {
+	total := cost.NewGauge()
+	for _, n := range m.Nodes {
+		total.Add(n.Gauge)
+	}
+	return total
+}
+
+// ResetGauges zeroes every node's gauge.
+func (m *Machine) ResetGauges() {
+	for _, n := range m.Nodes {
+		n.Gauge.Reset()
+	}
+}
+
+// Stepper is one unit of protocol work bound to the machine: each call
+// performs a bounded amount of progress and reports whether the protocol
+// has completed.
+type Stepper interface {
+	// Step performs one scheduling quantum and reports completion.
+	Step() (done bool, err error)
+}
+
+// ErrStalled reports that Run exhausted its round budget with steppers
+// still incomplete — a livelock or a budget set too low.
+var ErrStalled = errors.New("machine: protocol stalled before completion")
+
+// Run drives the steppers round-robin until all report done, making one
+// Step call per incomplete stepper per round. It is the deterministic
+// "machine cycle" of every experiment: the interleaving depends only on
+// stepper order.
+func Run(maxRounds int, steppers ...Stepper) error {
+	done := make([]bool, len(steppers))
+	for round := 0; round < maxRounds; round++ {
+		allDone := true
+		for i, s := range steppers {
+			if done[i] {
+				continue
+			}
+			d, err := s.Step()
+			if err != nil {
+				return err
+			}
+			done[i] = d
+			if !d {
+				allDone = false
+			}
+		}
+		if allDone {
+			return nil
+		}
+	}
+	return ErrStalled
+}
+
+// StepFunc adapts a function to the Stepper interface.
+type StepFunc func() (bool, error)
+
+// Step implements Stepper.
+func (f StepFunc) Step() (bool, error) { return f() }

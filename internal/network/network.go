@@ -1,0 +1,121 @@
+// Package network provides behavioral models of the two routing substrates
+// the paper compares:
+//
+//   - CM5Net models the CM-5 data network's messaging-layer-visible
+//     contract: packets between a pair of nodes may be delivered in
+//     arbitrary order, buffering is finite (injection can backpressure),
+//     and faults are detected (corrupt packets carry a failed CRC and are
+//     discarded by the receiver) but never corrected.
+//   - CRNet models a Compressionless-Routing substrate: delivery is
+//     order-preserving per source/destination pair, packets are delivered
+//     reliably (transient faults are retried invisibly by the hardware),
+//     and a destination out of resources can reject a transfer's header
+//     packet without deadlocking the network.
+//
+// These models carry real data end to end; the flit-level simulator in
+// package flitnet demonstrates the router mechanisms that give rise to the
+// same contracts and is cross-validated against these models.
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Word is a 32-bit network word, the CM-5's transfer unit.
+type Word uint32
+
+// Tag is the hardware message tag used to vector received packets to
+// handlers, mirroring the CM-5 NI tag field.
+type Tag uint8
+
+// Packet is one hardware packet: on the CM-5, five words — here one
+// metadata head word plus up to PacketWords data words.
+type Packet struct {
+	Src, Dst int
+	Tag      Tag
+	Head     Word   // protocol metadata: handler id, segment/offset, sequence
+	Data     []Word // payload, at most the network's packet payload size
+	// Corrupt marks a packet whose CRC check fails at the receiver. The
+	// receiving NI detects and discards such packets; nothing in software
+	// ever observes the payload.
+	Corrupt bool
+
+	flow uint64 // per-(src,dst) injection sequence, set by the network
+}
+
+// FlowSeq returns the packet's per-(src,dst) injection sequence number,
+// assigned by the network at Inject time. Tests use it to verify ordering
+// contracts.
+func (p Packet) FlowSeq() uint64 { return p.flow }
+
+// Injection and acceptance errors.
+var (
+	// ErrBackpressure reports that finite buffering toward the
+	// destination is exhausted; the sender must retry later.
+	ErrBackpressure = errors.New("network: injection backpressured, retry")
+	// ErrRejected reports that the destination refused the packet at
+	// acceptance time (Compressionless Routing header rejection).
+	ErrRejected = errors.New("network: header packet rejected by destination")
+	// ErrBadPacket reports a malformed injection request.
+	ErrBadPacket = errors.New("network: malformed packet")
+)
+
+// Network is the substrate contract the messaging layers program against.
+type Network interface {
+	// Name identifies the substrate in reports.
+	Name() string
+	// Nodes returns the number of attached processing nodes.
+	Nodes() int
+	// PacketWords returns the payload capacity of one hardware packet.
+	PacketWords() int
+	// Inject attempts to insert a packet. It may fail with
+	// ErrBackpressure (finite buffering) or ErrRejected (CR header
+	// rejection); both leave the network unchanged.
+	Inject(p Packet) error
+	// TryRecv pops the next deliverable packet for a node, reporting
+	// false when nothing is deliverable.
+	TryRecv(node int) (Packet, bool)
+	// Pending returns the number of packets somewhere in the network.
+	Pending() int
+	// Stats returns cumulative counters.
+	Stats() Stats
+}
+
+// Stats are cumulative network counters.
+type Stats struct {
+	Injected     uint64
+	Delivered    uint64
+	Dropped      uint64 // lost to injected faults (CM5Net only)
+	CorruptSeen  uint64 // delivered with a failed CRC (CM5Net only)
+	Backpressure uint64 // Inject calls refused for lack of buffering
+	Rejected     uint64 // header packets refused by the destination
+	HWRetries    uint64 // transparent hardware retries (CRNet only)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("injected=%d delivered=%d dropped=%d corrupt=%d backpressure=%d rejected=%d hwretries=%d",
+		s.Injected, s.Delivered, s.Dropped, s.CorruptSeen, s.Backpressure, s.Rejected, s.HWRetries)
+}
+
+// validate checks an injection request against the substrate geometry.
+func validate(p Packet, nodes, packetWords int) error {
+	if p.Src < 0 || p.Src >= nodes || p.Dst < 0 || p.Dst >= nodes {
+		return fmt.Errorf("%w: src=%d dst=%d with %d nodes", ErrBadPacket, p.Src, p.Dst, nodes)
+	}
+	if len(p.Data) > packetWords {
+		return fmt.Errorf("%w: %d payload words exceeds packet size %d", ErrBadPacket, len(p.Data), packetWords)
+	}
+	return nil
+}
+
+// clonePayload defensively copies the payload so callers can reuse their
+// scratch buffers after Inject returns.
+func clonePayload(data []Word) []Word {
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]Word, len(data))
+	copy(out, data)
+	return out
+}

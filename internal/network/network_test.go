@@ -1,0 +1,423 @@
+package network
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPacketValidation(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 4})
+	cases := []Packet{
+		{Src: -1, Dst: 0},
+		{Src: 0, Dst: 4},
+		{Src: 4, Dst: 0},
+		{Src: 0, Dst: 1, Data: make([]Word, 5)},
+	}
+	for _, p := range cases {
+		if err := n.Inject(p); !errors.Is(err, ErrBadPacket) {
+			t.Errorf("Inject(%+v) = %v, want ErrBadPacket", p, err)
+		}
+	}
+}
+
+func TestCM5DeliversPayloadIntact(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2})
+	want := []Word{1, 2, 3, 4}
+	scratch := append([]Word(nil), want...)
+	if err := n.Inject(Packet{Src: 0, Dst: 1, Tag: 7, Head: 99, Data: scratch}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's buffer after Inject must not affect delivery.
+	scratch[0] = 1000
+
+	p, ok := n.TryRecv(1)
+	if !ok {
+		t.Fatal("nothing delivered")
+	}
+	if p.Src != 0 || p.Dst != 1 || p.Tag != 7 || p.Head != 99 {
+		t.Errorf("header fields wrong: %+v", p)
+	}
+	if len(p.Data) != 4 {
+		t.Fatalf("payload length %d", len(p.Data))
+	}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("word %d = %d, want %d", i, p.Data[i], w)
+		}
+	}
+	if _, ok := n.TryRecv(1); ok {
+		t.Error("second receive should find nothing")
+	}
+}
+
+func TestCM5TryRecvBadNode(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2})
+	if _, ok := n.TryRecv(-1); ok {
+		t.Error("TryRecv(-1) returned a packet")
+	}
+	if _, ok := n.TryRecv(2); ok {
+		t.Error("TryRecv(2) returned a packet")
+	}
+}
+
+func TestCM5DefaultsAndConfigErrors(t *testing.T) {
+	if _, err := NewCM5Net(CM5Config{Nodes: 0}); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := NewCM5Net(CM5Config{Nodes: 2, PacketWords: -1}); err == nil {
+		t.Error("accepted negative packet size")
+	}
+	n := MustCM5Net(CM5Config{Nodes: 2})
+	if n.PacketWords() != 4 {
+		t.Errorf("default packet words = %d, want 4", n.PacketWords())
+	}
+	if n.Nodes() != 2 || n.Name() != "cm5" {
+		t.Errorf("identity wrong: %s/%d", n.Name(), n.Nodes())
+	}
+}
+
+func TestMustCM5NetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCM5Net(CM5Config{})
+}
+
+func TestCM5PairSwapReordersExactlyHalf(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2, Reorder: PairSwap()})
+	const p = 8
+	for i := 0; i < p; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Word
+	for {
+		pkt, ok := n.TryRecv(1)
+		if !ok {
+			break
+		}
+		got = append(got, pkt.Head)
+	}
+	want := []Word{1, 0, 3, 2, 5, 4, 7, 6}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(got), len(want))
+	}
+	// Count arrivals that could not be consumed in sequence — the paper's
+	// definition of an out-of-order arrival needing reorder buffering.
+	ooo := 0
+	expected := Word(0)
+	buffered := map[Word]bool{}
+	for i, w := range got {
+		if w != want[i] {
+			t.Errorf("delivery %d = %d, want %d", i, w, want[i])
+		}
+		if w == expected {
+			expected++
+			for buffered[expected] {
+				delete(buffered, expected)
+				expected++
+			}
+		} else {
+			ooo++
+			buffered[w] = true
+		}
+	}
+	if ooo != p/2 {
+		t.Errorf("out-of-order arrivals = %d, want %d", ooo, p/2)
+	}
+}
+
+func TestCM5PairSwapFlushesHeldPacketOnOddCount(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2, Reorder: PairSwap()})
+	for i := 0; i < 3; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Word
+	for {
+		pkt, ok := n.TryRecv(1)
+		if !ok {
+			break
+		}
+		got = append(got, pkt.Head)
+	}
+	want := []Word{1, 0, 2}
+	if len(got) != 3 {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("delivered %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestCM5ReorderingIsPerFlow(t *testing.T) {
+	// Packets from two different sources to one destination must not
+	// swap with each other, only within their own flow.
+	n := MustCM5Net(CM5Config{Nodes: 3, Reorder: PairSwap()})
+	for i := 0; i < 2; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 2, Head: Word(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Inject(Packet{Src: 1, Dst: 2, Head: Word(200 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flow0, flow1 []Word
+	for {
+		pkt, ok := n.TryRecv(2)
+		if !ok {
+			break
+		}
+		if pkt.Src == 0 {
+			flow0 = append(flow0, pkt.Head)
+		} else {
+			flow1 = append(flow1, pkt.Head)
+		}
+	}
+	if len(flow0) != 2 || flow0[0] != 101 || flow0[1] != 100 {
+		t.Errorf("flow0 = %v, want [101 100]", flow0)
+	}
+	if len(flow1) != 2 || flow1[0] != 201 || flow1[1] != 200 {
+		t.Errorf("flow1 = %v, want [201 200]", flow1)
+	}
+}
+
+func TestCM5WindowShuffleDeliversPermutation(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2, Reorder: WindowShuffle(4, 42)})
+	const p = 10
+	for i := 0; i < p; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[Word]bool{}
+	for {
+		pkt, ok := n.TryRecv(1)
+		if !ok {
+			break
+		}
+		if seen[pkt.Head] {
+			t.Fatalf("duplicate delivery of %d", pkt.Head)
+		}
+		seen[pkt.Head] = true
+	}
+	if len(seen) != p {
+		t.Errorf("delivered %d distinct packets, want %d", len(seen), p)
+	}
+}
+
+func TestCM5WindowShuffleDeterministic(t *testing.T) {
+	run := func() []Word {
+		n := MustCM5Net(CM5Config{Nodes: 2, Reorder: WindowShuffle(8, 7)})
+		for i := 0; i < 20; i++ {
+			if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []Word
+		for {
+			pkt, ok := n.TryRecv(1)
+			if !ok {
+				break
+			}
+			got = append(got, pkt.Head)
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCM5FiniteBufferingBackpressures(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2, Capacity: 3})
+	for i := 0; i < 3; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Inject(Packet{Src: 0, Dst: 1}); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("4th inject = %v, want ErrBackpressure", err)
+	}
+	if n.Stats().Backpressure != 1 {
+		t.Errorf("backpressure count = %d", n.Stats().Backpressure)
+	}
+	// Draining one makes room for one.
+	if _, ok := n.TryRecv(1); !ok {
+		t.Fatal("drain failed")
+	}
+	if err := n.Inject(Packet{Src: 0, Dst: 1}); err != nil {
+		t.Fatalf("inject after drain = %v", err)
+	}
+	// A different destination is unaffected.
+	if err := n.Inject(Packet{Src: 1, Dst: 0}); err != nil {
+		t.Fatalf("other-destination inject = %v", err)
+	}
+}
+
+func TestCM5CapacityCountsHeldPackets(t *testing.T) {
+	// A packet held inside a reorderer still occupies destination
+	// buffering.
+	n := MustCM5Net(CM5Config{Nodes: 2, Capacity: 1, Reorder: PairSwap()})
+	if err := n.Inject(Packet{Src: 0, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Inject(Packet{Src: 0, Dst: 1}); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("inject over held packet = %v, want ErrBackpressure", err)
+	}
+}
+
+func TestCM5FaultDropLosesPacketSilently(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2, Faults: &EveryNth{N: 2, What: Drop}})
+	for i := 0; i < 4; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Word
+	for {
+		pkt, ok := n.TryRecv(1)
+		if !ok {
+			break
+		}
+		got = append(got, pkt.Head)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("delivered %v, want [0 2]", got)
+	}
+	st := n.Stats()
+	if st.Dropped != 2 || st.Injected != 4 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCM5FaultCorruptIsDetectable(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2, Faults: &EveryNth{N: 3, What: Corrupt}})
+	for i := 0; i < 3; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var corrupt int
+	for {
+		pkt, ok := n.TryRecv(1)
+		if !ok {
+			break
+		}
+		if pkt.Corrupt {
+			corrupt++
+		}
+	}
+	if corrupt != 1 {
+		t.Errorf("corrupt deliveries = %d, want 1", corrupt)
+	}
+	if n.Stats().CorruptSeen != 1 {
+		t.Errorf("CorruptSeen = %d", n.Stats().CorruptSeen)
+	}
+}
+
+func TestTargetSeqsFaultsOnlyOnce(t *testing.T) {
+	plan := &TargetSeqs{Src: 0, Dst: 1, Seqs: map[uint64]Outcome{1: Drop}}
+	n := MustCM5Net(CM5Config{Nodes: 2, Faults: plan})
+	for i := 0; i < 3; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1, Head: Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flow seq 1 (the second packet) was dropped; a fresh injection gets
+	// flow seq 3 and sails through.
+	if err := n.Inject(Packet{Src: 0, Dst: 1, Head: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Word
+	for {
+		pkt, ok := n.TryRecv(1)
+		if !ok {
+			break
+		}
+		got = append(got, pkt.Head)
+	}
+	want := []Word{0, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("delivered %v, want %v", got, want)
+			break
+		}
+	}
+	// Packets on other flows are never judged.
+	plan2 := &TargetSeqs{Src: 0, Dst: 1, Seqs: map[uint64]Outcome{0: Drop}}
+	if plan2.Judge(Packet{Src: 1, Dst: 0}) != Deliver {
+		t.Error("TargetSeqs faulted a foreign flow")
+	}
+}
+
+func TestSeededRateBounds(t *testing.T) {
+	if NewSeededRate(-1, 1).rate != 0 {
+		t.Error("negative rate not clamped")
+	}
+	if NewSeededRate(2, 1).rate != 1 {
+		t.Error("rate > 1 not clamped")
+	}
+	plan := NewSeededRate(0.5, 99)
+	outcomes := map[Outcome]int{}
+	for i := 0; i < 1000; i++ {
+		outcomes[plan.Judge(Packet{})]++
+	}
+	if outcomes[Deliver] == 0 || outcomes[Corrupt] == 0 || outcomes[Drop] == 0 {
+		t.Errorf("rate 0.5 over 1000 packets should produce all outcomes: %v", outcomes)
+	}
+}
+
+func TestEveryNthDisabled(t *testing.T) {
+	plan := &EveryNth{N: 0, What: Drop}
+	for i := 0; i < 5; i++ {
+		if plan.Judge(Packet{}) != Deliver {
+			t.Fatal("disabled plan faulted a packet")
+		}
+	}
+}
+
+func TestCM5PendingAndFlowSeq(t *testing.T) {
+	n := MustCM5Net(CM5Config{Nodes: 2})
+	for i := 0; i < 3; i++ {
+		if err := n.Inject(Packet{Src: 0, Dst: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Pending() != 3 {
+		t.Errorf("Pending = %d, want 3", n.Pending())
+	}
+	p, _ := n.TryRecv(1)
+	if p.FlowSeq() != 0 {
+		t.Errorf("first FlowSeq = %d", p.FlowSeq())
+	}
+	p, _ = n.TryRecv(1)
+	if p.FlowSeq() != 1 {
+		t.Errorf("second FlowSeq = %d", p.FlowSeq())
+	}
+	if n.Pending() != 1 {
+		t.Errorf("Pending after two receives = %d", n.Pending())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Injected: 3, Delivered: 2}
+	str := s.String()
+	if !strings.Contains(str, "injected=3") || !strings.Contains(str, "delivered=2") {
+		t.Errorf("Stats.String = %q", str)
+	}
+}

@@ -1,0 +1,97 @@
+package network
+
+import "math/rand"
+
+// Reorderer decides the delivery order of packets within one
+// (source, destination) flow, modeling the arbitrary delivery order of
+// multipath networks. Implementations are driven per flow: Push accepts the
+// next injected packet and returns any packets that become deliverable (in
+// delivery order); Flush releases anything still held when the flow goes
+// idle.
+type Reorderer interface {
+	Push(p Packet) []Packet
+	Flush() []Packet
+}
+
+// ReorderPolicy constructs a fresh Reorderer for each flow.
+type ReorderPolicy func() Reorderer
+
+// InOrder delivers every flow in injection order (a single-path network).
+func InOrder() ReorderPolicy {
+	return func() Reorderer { return inOrder{} }
+}
+
+type inOrder struct{}
+
+func (inOrder) Push(p Packet) []Packet { return []Packet{p} }
+func (inOrder) Flush() []Packet        { return nil }
+
+// PairSwap delivers each consecutive pair of packets swapped
+// (1, 0, 3, 2, ...), so exactly half of a flow's packets arrive out of
+// order — the paper's Table 2 assumption for the indefinite-sequence
+// protocol, made deterministic.
+func PairSwap() ReorderPolicy {
+	return func() Reorderer { return &pairSwap{} }
+}
+
+type pairSwap struct {
+	held    *Packet
+	hasHeld bool
+}
+
+func (s *pairSwap) Push(p Packet) []Packet {
+	if !s.hasHeld {
+		cp := p
+		s.held = &cp
+		s.hasHeld = true
+		return nil
+	}
+	first := *s.held
+	s.held, s.hasHeld = nil, false
+	return []Packet{p, first}
+}
+
+func (s *pairSwap) Flush() []Packet {
+	if !s.hasHeld {
+		return nil
+	}
+	p := *s.held
+	s.held, s.hasHeld = nil, false
+	return []Packet{p}
+}
+
+// WindowShuffle holds up to window packets per flow and releases them in a
+// seeded pseudo-random order, modeling adaptive routing whose path spread is
+// bounded by the network diameter. The same seed always produces the same
+// delivery order.
+func WindowShuffle(window int, seed int64) ReorderPolicy {
+	if window < 1 {
+		window = 1
+	}
+	return func() Reorderer {
+		return &windowShuffle{window: window, rng: rand.New(rand.NewSource(seed))}
+	}
+}
+
+type windowShuffle struct {
+	window int
+	rng    *rand.Rand
+	held   []Packet
+}
+
+func (s *windowShuffle) Push(p Packet) []Packet {
+	s.held = append(s.held, p)
+	if len(s.held) < s.window {
+		return nil
+	}
+	return s.release()
+}
+
+func (s *windowShuffle) Flush() []Packet { return s.release() }
+
+func (s *windowShuffle) release() []Packet {
+	out := s.held
+	s.held = nil
+	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,250 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+)
+
+// sendRawAM injects a hand-built active message, bypassing the protocol's
+// own senders, to exercise the malformed-message paths.
+func sendRawAM(t *testing.T, ep *cmam.Endpoint, dst int, h cmam.HandlerID, args ...network.Word) {
+	t.Helper()
+	if err := ep.SendAM(dst, h, cost.Base, nil, args...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiniteMalformedMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		h    cmam.HandlerID
+		args []network.Word
+		want string
+	}{
+		{"alloc request arity", HFiniteAllocReq, []network.Word{1}, "malformed alloc request"},
+		{"alloc request size", HFiniteAllocReq, []network.Word{1, 0}, "alloc request"},
+		{"alloc request huge", HFiniteAllocReq, []network.Word{1, 1 << 20}, "alloc request"},
+		{"alloc reply arity", HFiniteAllocReply, []network.Word{1}, "malformed alloc reply"},
+		{"ack arity", HFiniteAck, nil, "malformed ack"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := network.MustCM5Net(network.CM5Config{Nodes: 2})
+			m := twoNode(t, net)
+			raw := cmam.NewEndpoint(m.Node(0))
+			svc := NewFinite(cmam.NewEndpoint(m.Node(1)))
+			sendRawAM(t, raw, 1, tc.h, tc.args...)
+			err := svc.Pump()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Pump = %v, want %q", err, tc.want)
+			}
+			// The deferred error is consumed; the service recovers.
+			if err := svc.Pump(); err != nil {
+				t.Errorf("second Pump = %v", err)
+			}
+		})
+	}
+}
+
+func TestStreamMalformedMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		h    cmam.HandlerID
+		args []network.Word
+		want string
+	}{
+		{"ack arity", HStreamAck, []network.Word{1}, "malformed stream ack"},
+		{"ack unknown channel", HStreamAck, []network.Word{7, 0}, "unknown channel"},
+		{"nack arity", HStreamNack, nil, "malformed stream nack"},
+		{"nack unknown channel", HStreamNack, []network.Word{7, 0}, "unknown channel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := network.MustCM5Net(network.CM5Config{Nodes: 2})
+			m := twoNode(t, net)
+			raw := cmam.NewEndpoint(m.Node(0))
+			svc := MustNewStream(cmam.NewEndpoint(m.Node(1)), StreamConfig{})
+			sendRawAM(t, raw, 1, tc.h, tc.args...)
+			err := svc.Pump()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Pump = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The Stepper adapters drive protocols to completion through machine.Run's
+// interface.
+func TestStepperAdapters(t *testing.T) {
+	net := network.MustCM5Net(network.CM5Config{Nodes: 2})
+	m := twoNode(t, net)
+	srcF := NewFinite(cmam.NewEndpoint(m.Node(0)))
+	dstF := NewFinite(cmam.NewEndpoint(m.Node(1)))
+	var got []network.Word
+	dstF.OnReceive = func(_ int, buf []network.Word) { got = buf }
+	tr, err := srcF.Start(1, pattern(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		done, err := tr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dstF.Pump(); err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if !tr.Done() || len(got) != 8 {
+		t.Fatalf("finite Step did not complete: done=%v got=%d", tr.Done(), len(got))
+	}
+
+	// Stream Step: done when all connections idle.
+	net2 := network.MustCM5Net(network.CM5Config{Nodes: 2})
+	m2 := twoNode(t, net2)
+	srcS := MustNewStream(cmam.NewEndpoint(m2.Node(0)), StreamConfig{})
+	dstS := MustNewStream(cmam.NewEndpoint(m2.Node(1)), StreamConfig{})
+	c := srcS.Open(1, 0)
+	if err := c.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := dstS.Step(); err != nil {
+			t.Fatal(err)
+		}
+		done, err := srcS.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if !c.Idle() {
+		t.Fatal("stream Step did not complete")
+	}
+}
+
+// NACK for an already-acknowledged packet is harmless (the retransmit
+// finds nothing buffered).
+func TestStreamNackForAckedPacket(t *testing.T) {
+	net := network.MustCM5Net(network.CM5Config{Nodes: 2})
+	rig := newStreamRig(t, net, StreamConfig{})
+	c := rig.src.Open(1, 0)
+	sendPackets(t, c, 2)
+	rig.run(t, c)
+	// Spurious NACK from the receiver for a long-acked sequence.
+	raw := cmam.NewEndpoint(rig.m.Node(1))
+	_ = raw // the stream's own endpoint handles the handlers; send from node1
+	if err := rig.dst.ep.SendAM(0, HStreamNack, cost.FaultTol, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.src.Pump(); err != nil {
+		t.Fatalf("spurious nack broke the source: %v", err)
+	}
+}
+
+// Stray replies and acknowledgements (duplicates from the retransmission
+// path) are tolerated, not errors.
+func TestFiniteStaleMessagesTolerated(t *testing.T) {
+	net := network.MustCM5Net(network.CM5Config{Nodes: 2})
+	m := twoNode(t, net)
+	raw := cmam.NewEndpoint(m.Node(0))
+	svc := NewFinite(cmam.NewEndpoint(m.Node(1)))
+	sendRawAM(t, raw, 1, HFiniteAllocReply, 42, 1)
+	sendRawAM(t, raw, 1, HFiniteAck, 42)
+	if err := svc.Pump(); err != nil {
+		t.Fatalf("Pump = %v", err)
+	}
+	g := svc.ep.Node().Gauge
+	if g.Events("finite.stale.reply") != 1 || g.Events("finite.stale.ack") != 1 {
+		t.Errorf("stale events = %d, %d", g.Events("finite.stale.reply"), g.Events("finite.stale.ack"))
+	}
+}
+
+// The finite protocol now survives packet loss end to end: any of the
+// handshake, data, or acknowledgement packets may be dropped, and the
+// timeout/dedup machinery recovers with byte-exact delivery.
+func TestFiniteTransferSurvivesLoss(t *testing.T) {
+	for _, lossSeq := range []uint64{0, 1, 2, 4, 6} {
+		// Flow (0,1) packet #lossSeq is dropped: 0 = alloc request,
+		// later indexes are data packets or timeout retransmissions.
+		plan := &network.TargetSeqs{Src: 0, Dst: 1, Seqs: map[uint64]network.Outcome{lossSeq: network.Drop}}
+		net := network.MustCM5Net(network.CM5Config{Nodes: 2, Faults: plan})
+		m := twoNode(t, net)
+		srcSvc := NewFinite(cmam.NewEndpoint(m.Node(0)))
+		srcSvc.RetransmitAfter = 16
+		dstSvc := NewFinite(cmam.NewEndpoint(m.Node(1)))
+		var got []network.Word
+		dstSvc.OnReceive = func(_ int, buf []network.Word) { got = buf }
+
+		data := pattern(20)
+		tr, err := srcSvc.Start(1, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = machine.Run(100000,
+			machine.StepFunc(func() (bool, error) { return tr.Done(), srcSvc.Pump() }),
+			machine.StepFunc(func() (bool, error) { return tr.Done(), dstSvc.Pump() }),
+		)
+		if err != nil {
+			t.Fatalf("loss at %d: %v", lossSeq, err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("loss at %d: received %d of %d", lossSeq, len(got), len(data))
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("loss at %d: word %d corrupted", lossSeq, i)
+			}
+		}
+	}
+}
+
+// A lost acknowledgement specifically: the transfer completes at the
+// receiver, the ack vanishes, and the probe/re-ack path finishes the
+// source side.
+func TestFiniteTransferSurvivesLostAck(t *testing.T) {
+	// Flow (1,0): the receiver's packets toward the source. Packet 1 is
+	// the ack (packet 0 is the alloc reply).
+	plan := &network.TargetSeqs{Src: 1, Dst: 0, Seqs: map[uint64]network.Outcome{1: network.Drop}}
+	net := network.MustCM5Net(network.CM5Config{Nodes: 2, Faults: plan})
+	m := twoNode(t, net)
+	srcSvc := NewFinite(cmam.NewEndpoint(m.Node(0)))
+	srcSvc.RetransmitAfter = 16
+	dstSvc := NewFinite(cmam.NewEndpoint(m.Node(1)))
+	var got []network.Word
+	dstSvc.OnReceive = func(_ int, buf []network.Word) { got = buf }
+
+	data := pattern(16)
+	tr, err := srcSvc.Start(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run(100000,
+		machine.StepFunc(func() (bool, error) { return tr.Done(), srcSvc.Pump() }),
+		machine.StepFunc(func() (bool, error) { return tr.Done(), dstSvc.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("received %d words", len(got))
+	}
+	if m.Node(1).Gauge.Events("finite.reack") == 0 {
+		t.Error("expected a re-acknowledgement")
+	}
+	// The retransmission cost is visible in fault tolerance, above the
+	// fault-free fixed 27 instructions.
+	if ft := m.Node(0).Gauge.Cell(cost.Source, cost.FaultTol).Total(); ft <= 27 {
+		t.Errorf("source fault tolerance = %d, expected retransmission charges", ft)
+	}
+}

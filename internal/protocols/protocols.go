@@ -1,0 +1,46 @@
+// Package protocols implements the paper's three communication protocols on
+// top of the CMAM layer, with full instruction-cost attribution:
+//
+//   - Single-packet delivery (Table 1): one four-word datagram. Cheapest
+//     possible, but meets none of the user communication requirements.
+//   - Finite sequence, multi-packet delivery (Figure 3): reliable
+//     memory-to-memory transfer of a known-size message, paying for buffer
+//     preallocation (deadlock/overflow safety), carried offsets (in-order
+//     placement), and a completion acknowledgement (fault tolerance).
+//   - Indefinite sequence, multi-packet delivery (Figure 4): an ordered,
+//     reliable stream of packets (a socket-like channel), paying for
+//     sequence numbers and reorder buffering (in-order delivery) and for
+//     source buffering plus per-packet or group acknowledgements (fault
+//     tolerance).
+//
+// Every protocol event charges the calibrated bundle from the node's
+// cost.Schedule, so the Table 2 / Table 3 numbers emerge from the actual
+// packet, acknowledgement, and out-of-order-arrival counts of a run.
+package protocols
+
+import (
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+)
+
+// Handler identifiers used by the protocols. User applications must avoid
+// this range when registering their own handlers.
+const (
+	HFiniteAllocReq   cmam.HandlerID = 10
+	HFiniteAllocReply cmam.HandlerID = 11
+	HFiniteAck        cmam.HandlerID = 12
+	HStreamAck        cmam.HandlerID = 20
+	HStreamNack       cmam.HandlerID = 21
+)
+
+// TagStream is the hardware tag of indefinite-sequence data packets.
+const TagStream = cmam.TagAM + 2 // distinct from TagAM and TagXfer
+
+// retryProbe is the cost of discovering that an injection attempt
+// backpressured: a status-register load and its test. It is charged only on
+// the non-minimal execution path (finite network buffering), which the
+// paper's tables exclude by assumption.
+var retryProbe = cost.Items{
+	{Cat: cost.Dev, Sub: cost.SubNIStatus, N: 1},
+	{Cat: cost.Reg, Sub: cost.SubNIStatus, N: 2},
+}

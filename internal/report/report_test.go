@@ -1,0 +1,182 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"msglayer/internal/cost"
+)
+
+func sampleGauge() *cost.Gauge {
+	g := cost.NewGauge()
+	s := cost.MustPaperSchedule(4)
+	g.Charge(cost.Source, cost.Base, s.SendSingle)
+	g.Charge(cost.Destination, cost.Base, s.RecvSingle)
+	return g
+}
+
+func TestTable1Layout(t *testing.T) {
+	out := Table1(sampleGauge())
+	for _, want := range []string{
+		"Call/Return", "NI setup", "Write to NI", "Read from NI",
+		"Check NI status", "Control flow", "Total", "20", "27",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	// Source has no NI reads: the row shows a dash in the source column.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Read from NI") && !strings.Contains(line, "-") {
+			t.Errorf("expected dash for absent source reads: %q", line)
+		}
+	}
+}
+
+func TestFromGaugeAndMergeRoles(t *testing.T) {
+	g := sampleGauge()
+	c := FromGauge(g)
+	if c[cost.Source][cost.Base].Total() != 20 {
+		t.Errorf("FromGauge source base = %v", c[cost.Source][cost.Base])
+	}
+
+	src := cost.NewGauge()
+	src.Charge(cost.Source, cost.Base, cost.Items{{Cat: cost.Reg, Sub: cost.SubCallRet, N: 5}})
+	src.Charge(cost.Destination, cost.Base, cost.Items{{Cat: cost.Reg, Sub: cost.SubCallRet, N: 99}}) // ignored
+	dst := cost.NewGauge()
+	dst.Charge(cost.Destination, cost.FaultTol, cost.Items{{Cat: cost.Mem, Sub: cost.SubBookkeeping, N: 7}})
+	merged := MergeRoles(src, dst)
+	if merged[cost.Source][cost.Base].Total() != 5 {
+		t.Errorf("merged source = %v", merged[cost.Source][cost.Base])
+	}
+	if merged[cost.Destination][cost.FaultTol].Total() != 7 {
+		t.Errorf("merged destination = %v", merged[cost.Destination][cost.FaultTol])
+	}
+	if merged[cost.Destination][cost.Base].Total() != 0 {
+		t.Errorf("merged took wrong column")
+	}
+	if got := merged.Total().Total(); got != 12 {
+		t.Errorf("merged total = %d", got)
+	}
+}
+
+func TestFeatureTable(t *testing.T) {
+	c := Cells{
+		cost.Source: {
+			cost.Base:       cost.V(80, 0, 0),
+			cost.InOrder:    cost.V(20, 0, 0),
+			cost.FaultTol:   cost.V(116, 0, 0),
+			cost.BufferMgmt: {},
+		},
+		cost.Destination: {
+			cost.Base:     cost.V(69, 0, 0),
+			cost.InOrder:  cost.V(116, 0, 0),
+			cost.FaultTol: cost.V(80, 0, 0),
+		},
+	}
+	out := FeatureTable("Indefinite sequence, 16 words", c)
+	for _, want := range []string{"Base Cost", "In-order Del.", "Fault-toler.", "216", "265", "481"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FeatureTable missing %q:\n%s", want, out)
+		}
+	}
+	// Buffer management is all dashes, as in the paper.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Buffer Mgmt.") {
+			if strings.Count(line, "-") != 3 {
+				t.Errorf("buffer mgmt row should be dashes: %q", line)
+			}
+		}
+	}
+}
+
+func TestCategoryTable(t *testing.T) {
+	c := Cells{
+		cost.Source:      {cost.Base: cost.V(62, 9, 20)},
+		cost.Destination: {cost.Base: cost.V(62, 11, 17)},
+	}
+	out := CategoryTable("Finite, 16 words", c)
+	for _, want := range []string{"reg", "mem", "dev", "62", "9", "20", "11", "17", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CategoryTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeightedLine(t *testing.T) {
+	c := Cells{
+		cost.Source:      {cost.Base: cost.V(17, 0, 3)},
+		cost.Destination: {cost.Base: cost.V(22, 0, 5)},
+	}
+	out := WeightedLine(c, cost.CM5)
+	if !strings.Contains(out, "source 32") || !strings.Contains(out, "destination 47") {
+		t.Errorf("WeightedLine = %q", out)
+	}
+}
+
+func TestComparison(t *testing.T) {
+	out := Comparison("Figure 6", []BarPair{
+		{Label: "finite, 16 words", CMAM: 397, CR: 187},
+		{Label: "indefinite, 16 words", CMAM: 481, CR: 143},
+	})
+	for _, want := range []string{"finite, 16 words", "397", "187", "-53%", "-70%", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Comparison missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-CMAM pairs must not divide by zero.
+	_ = Comparison("degenerate", []BarPair{{Label: "x", CMAM: 0, CR: 0}})
+}
+
+func TestSeriesAndCSV(t *testing.T) {
+	pts := []SeriesPoint{
+		{X: 4, Values: []float64{0.70, 0.12}},
+		{X: 128, Values: []float64{0.50, 0.09}},
+	}
+	out := Series("Figure 8", "n", []string{"indefinite", "finite"}, pts)
+	for _, want := range []string{"Figure 8", "indefinite", "finite", "0.7000", "128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Series missing %q:\n%s", want, out)
+		}
+	}
+	csv := CSV("n", []string{"a", "b"}, pts)
+	if !strings.HasPrefix(csv, "n,a,b\n4,0.7,0.12\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestPaperVsMeasured(t *testing.T) {
+	if out := PaperVsMeasured("totals", 100, 100); !strings.Contains(out, "match") {
+		t.Errorf("exact = %q", out)
+	}
+	if out := PaperVsMeasured("totals", 100, 110); !strings.Contains(out, "+10.0%") {
+		t.Errorf("delta = %q", out)
+	}
+}
+
+func TestMarkdownFeatureTable(t *testing.T) {
+	c := Cells{
+		cost.Source:      {cost.Base: cost.V(20, 0, 0)},
+		cost.Destination: {cost.Base: cost.V(27, 0, 0)},
+	}
+	out := MarkdownFeatureTable(c)
+	for _, want := range []string{"| Feature |", "| Base Cost | 20 | 27 | 47 |", "| **Total** | 20 | 27 | 47 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Empty features render dashes.
+	if !strings.Contains(out, "| Buffer Mgmt. | - | - | - |") {
+		t.Errorf("empty rows not dashed:\n%s", out)
+	}
+}
+
+func TestMarkdownComparisons(t *testing.T) {
+	out := MarkdownComparisons([]BarPair{{Label: "finite 16w", CMAM: 397, CR: 187}, {Label: "zero", CMAM: 0, CR: 0}})
+	if !strings.Contains(out, "| finite 16w | 397 | 187 | 53% |") {
+		t.Errorf("markdown:\n%s", out)
+	}
+	if !strings.Contains(out, "| zero | 0 | 0 | 0% |") {
+		t.Errorf("zero row:\n%s", out)
+	}
+}

@@ -1,0 +1,268 @@
+package reqreply
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+)
+
+// doubler is a server returning twice its first argument.
+func doubler(src int, args []network.Word) []network.Word {
+	if len(args) == 0 {
+		return nil
+	}
+	return []network.Word{args[0] * 2}
+}
+
+// dualMachine builds a machine with separate request and reply networks,
+// both with the given per-destination capacity.
+func dualMachine(t *testing.T, nodes, capacity int) *machine.Machine {
+	t.Helper()
+	req := network.MustCM5Net(network.CM5Config{Nodes: nodes, Capacity: capacity})
+	rep := network.MustCM5Net(network.CM5Config{Nodes: nodes, Capacity: capacity})
+	m, err := machine.NewDual(req, rep, cost.MustPaperSchedule(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDualConstructorValidates(t *testing.T) {
+	req := network.MustCM5Net(network.CM5Config{Nodes: 2})
+	if _, err := machine.NewDual(req, nil, cost.MustPaperSchedule(4)); err == nil {
+		t.Error("accepted nil reply network")
+	}
+	repWrongNodes := network.MustCM5Net(network.CM5Config{Nodes: 3})
+	if _, err := machine.NewDual(req, repWrongNodes, cost.MustPaperSchedule(4)); err == nil {
+		t.Error("accepted node-count mismatch")
+	}
+	repWrongSize := network.MustCM5Net(network.CM5Config{Nodes: 2, PacketWords: 8})
+	if _, err := machine.NewDual(req, repWrongSize, cost.MustPaperSchedule(4)); err == nil {
+		t.Error("accepted packet-size mismatch")
+	}
+}
+
+func TestBasicRPC(t *testing.T) {
+	m := dualMachine(t, 2, 0)
+	server := New(cmam.NewEndpoint(m.Node(1)), doubler)
+	client := New(cmam.NewEndpoint(m.Node(0)), nil)
+
+	call, err := client.Request(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run(1000,
+		machine.StepFunc(func() (bool, error) { return call.Done(), client.Pump() }),
+		machine.StepFunc(func() (bool, error) { return call.Done(), server.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := call.Reply(); len(got) != 1 || got[0] != 42 {
+		t.Errorf("reply = %v, want [42]", got)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	m := dualMachine(t, 2, 0)
+	client := New(cmam.NewEndpoint(m.Node(0)), nil)
+	if _, err := client.Request(1, 1, 2, 3); err == nil {
+		t.Error("accepted 3 payload words")
+	}
+}
+
+func TestClientOnlyNodeRejectsRequests(t *testing.T) {
+	m := dualMachine(t, 2, 0)
+	clientA := New(cmam.NewEndpoint(m.Node(0)), nil)
+	clientB := New(cmam.NewEndpoint(m.Node(1)), nil)
+	if _, err := clientA.Request(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientB.Pump(); err == nil {
+		t.Error("client-only node served a request")
+	}
+}
+
+func TestServerErrorsSurface(t *testing.T) {
+	m := dualMachine(t, 2, 0)
+	bad := New(cmam.NewEndpoint(m.Node(1)), func(int, []network.Word) []network.Word {
+		return make([]network.Word, 3) // too many reply words
+	})
+	client := New(cmam.NewEndpoint(m.Node(0)), nil)
+	if _, err := client.Request(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Pump(); err == nil || !strings.Contains(err.Error(), "reply words") {
+		t.Errorf("Pump = %v", err)
+	}
+}
+
+// The paper's footnote 6, demonstrated. Clients bound their outstanding
+// requests to the buffer space they reserve for replies (window = network
+// capacity), the discipline that makes request/reply overflow-safe — but
+// only if replies have that space to themselves. On the CM-5's two-network
+// arrangement they do, and an all-to-all request flood completes. On a
+// single bounded network, requests from third parties occupy the very
+// buffers the replies need, and a handler's reply emission fails — the
+// deadlock/overflow hazard of Section 2.1.
+func TestDeadlockAvoidanceWithTwoNetworks(t *testing.T) {
+	const nodes = 4
+	const callsPerPair = 3
+	const capacity = 1 // per-destination buffering, both networks
+	const window = 1   // outstanding calls per client = reserved reply space
+
+	flood := func(m *machine.Machine) error {
+		services := make([]*Service, nodes)
+		for i := 0; i < nodes; i++ {
+			services[i] = New(cmam.NewEndpoint(m.Node(i)), doubler)
+		}
+		type req struct{ dst, val int }
+		queues := make([][]req, nodes)
+		for round := 0; round < callsPerPair; round++ {
+			for src := 0; src < nodes; src++ {
+				for dst := 0; dst < nodes; dst++ {
+					if src != dst {
+						queues[src] = append(queues[src], req{dst, round})
+					}
+				}
+			}
+		}
+		outstanding := make([][]*Call, nodes)
+		var calls []*Call
+		done := func() bool {
+			for _, q := range queues {
+				if len(q) > 0 {
+					return false
+				}
+			}
+			for _, c := range calls {
+				if !c.Done() {
+					return false
+				}
+			}
+			return true
+		}
+		steppers := make([]machine.Stepper, nodes)
+		for i, s := range services {
+			i, s := i, s
+			steppers[i] = machine.StepFunc(func() (bool, error) {
+				if err := s.Pump(); err != nil {
+					return false, err
+				}
+				// Retire completed calls from the window.
+				live := outstanding[i][:0]
+				for _, c := range outstanding[i] {
+					if !c.Done() {
+						live = append(live, c)
+					}
+				}
+				outstanding[i] = live
+				// Issue the next call only within the reply-space window.
+				if len(queues[i]) > 0 && len(outstanding[i]) < window {
+					r := queues[i][0]
+					call, err := s.Request(r.dst, network.Word(r.val))
+					switch {
+					case errors.Is(err, network.ErrBackpressure):
+						// request network full; try again next round
+					case err != nil:
+						return false, err
+					default:
+						queues[i] = queues[i][1:]
+						calls = append(calls, call)
+						outstanding[i] = append(outstanding[i], call)
+					}
+				}
+				return done(), nil
+			})
+		}
+		return machine.Run(10000, steppers...)
+	}
+
+	// Two networks: the flood completes.
+	req := network.MustCM5Net(network.CM5Config{Nodes: nodes, Capacity: capacity})
+	rep := network.MustCM5Net(network.CM5Config{Nodes: nodes, Capacity: capacity})
+	dual, err := machine.NewDual(req, rep, cost.MustPaperSchedule(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flood(dual); err != nil {
+		t.Fatalf("dual-network flood failed: %v", err)
+	}
+
+	// One network: the same flood wedges — a reply emission fails against
+	// buffers full of other nodes' requests, or the machine stalls.
+	single := machine.MustNew(
+		network.MustCM5Net(network.CM5Config{Nodes: nodes, Capacity: capacity}),
+		cost.MustPaperSchedule(4))
+	err = flood(single)
+	if err == nil {
+		t.Fatal("single bounded network flood unexpectedly completed")
+	}
+	if !errors.Is(err, machine.ErrStalled) && !strings.Contains(err.Error(), "reply") {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+}
+
+// Request/reply costs are Table 1 costs composed: each completed call is
+// two single-packet round trips (request out + poll, reply out + poll).
+func TestRPCCostClosedForm(t *testing.T) {
+	m := dualMachine(t, 2, 0)
+	server := New(cmam.NewEndpoint(m.Node(1)), doubler)
+	client := New(cmam.NewEndpoint(m.Node(0)), nil)
+	const calls = 7
+	var done []*Call
+	for i := 0; i < calls; i++ {
+		c, err := client.Request(1, network.Word(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = append(done, c)
+	}
+	allDone := func() bool {
+		for _, c := range done {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	err := machine.Run(1000,
+		machine.StepFunc(func() (bool, error) { return allDone(), client.Pump() }),
+		machine.StepFunc(func() (bool, error) { return allDone(), server.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(calls * 2 * 47)
+	if got := m.TotalGauge().Total().Total(); got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+}
+
+// ReplyAM4 falls back to the primary NI on single-network machines.
+func TestReplyFallbackSingleNetwork(t *testing.T) {
+	m := machine.MustNew(
+		network.MustCM5Net(network.CM5Config{Nodes: 2}),
+		cost.MustPaperSchedule(4))
+	server := New(cmam.NewEndpoint(m.Node(1)), doubler)
+	client := New(cmam.NewEndpoint(m.Node(0)), nil)
+	call, err := client.Request(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run(1000,
+		machine.StepFunc(func() (bool, error) { return call.Done(), client.Pump() }),
+		machine.StepFunc(func() (bool, error) { return call.Done(), server.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := call.Reply(); len(got) != 1 || got[0] != 8 {
+		t.Errorf("reply = %v", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used by the flit-level network simulator. Events fire in
+// (time, sequence) order, so two runs of the same configuration produce
+// identical traces.
+package sim
+
+import "container/heap"
+
+// Time is simulated time in abstract cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event func(now Time)
+
+type entry struct {
+	at    Time
+	seq   uint64
+	fire  Event
+	index int
+	dead  bool
+}
+
+type eventQueue []*entry
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic event queue. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	queue eventQueue
+	now   Time
+	seq   uint64
+	steps uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events waiting to fire.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ e *entry }
+
+// Cancelled reports whether the handle's event was cancelled.
+func (h Handle) Cancelled() bool { return h.e != nil && h.e.dead }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t less
+// than Now) fires the event at the current time instead; the kernel never
+// travels backwards.
+func (k *Kernel) At(t Time, fn Event) Handle {
+	if t < k.now {
+		t = k.now
+	}
+	e := &entry{at: t, seq: k.seq, fire: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return Handle{e}
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn Event) Handle {
+	return k.At(k.now+d, fn)
+}
+
+// Cancel marks a scheduled event so it will not fire. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (k *Kernel) Cancel(h Handle) {
+	if h.e != nil {
+		h.e.dead = true
+	}
+}
+
+// Step executes the single next event. It reports false when no live events
+// remain.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*entry)
+		if e.dead {
+			continue
+		}
+		k.now = e.at
+		k.steps++
+		e.fire(k.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the step budget is
+// exhausted, returning the number of events executed. A budget of zero means
+// no limit; runaway simulations are the caller's responsibility in that
+// case.
+func (k *Kernel) Run(budget uint64) uint64 {
+	var done uint64
+	for budget == 0 || done < budget {
+		if !k.Step() {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// RunUntil executes events with firing times not later than deadline,
+// advancing Now to the deadline even if the queue drains early.
+func (k *Kernel) RunUntil(deadline Time) {
+	for k.queue.Len() > 0 {
+		// Peek: queue[0] is the earliest live or dead entry; dead entries
+		// must be popped regardless, but only live ones gate on time.
+		e := k.queue[0]
+		if e.dead {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		k.At(at, func(now Time) {
+			if now != at {
+				t.Errorf("fired at %d, scheduled for %d", now, at)
+			}
+			got = append(got, now)
+		})
+	}
+	k.Run(0)
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelTieBreaksBySchedulingOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func(Time) { got = append(got, i) })
+	}
+	k.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestKernelAfterAndNow(t *testing.T) {
+	k := NewKernel()
+	k.After(7, func(now Time) {
+		if now != 7 {
+			t.Errorf("now = %d, want 7", now)
+		}
+		k.After(5, func(now Time) {
+			if now != 12 {
+				t.Errorf("nested now = %d, want 12", now)
+			}
+		})
+	})
+	k.Run(0)
+	if k.Now() != 12 {
+		t.Errorf("final Now = %d, want 12", k.Now())
+	}
+	if k.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", k.Steps())
+	}
+}
+
+func TestKernelPastSchedulingClampsToNow(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.At(10, func(Time) {
+		k.At(3, func(now Time) {
+			fired = true
+			if now != 10 {
+				t.Errorf("past event fired at %d, want 10", now)
+			}
+		})
+	})
+	k.Run(0)
+	if !fired {
+		t.Error("past-scheduled event never fired")
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	h := k.At(5, func(Time) { fired = true })
+	k.Cancel(h)
+	if !h.Cancelled() {
+		t.Error("handle not marked cancelled")
+	}
+	k.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling twice, or cancelling a zero handle, must not panic.
+	k.Cancel(h)
+	k.Cancel(Handle{})
+}
+
+func TestKernelStepBudget(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var reschedule func(Time)
+	reschedule = func(Time) {
+		count++
+		k.After(1, reschedule)
+	}
+	k.After(1, reschedule)
+	if done := k.Run(100); done != 100 {
+		t.Errorf("Run = %d, want 100", done)
+	}
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		k.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	k.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=12, want 2 (%v)", len(fired), fired)
+	}
+	if k.Now() != 12 {
+		t.Errorf("Now = %d, want 12", k.Now())
+	}
+	k.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("fired %d events total, want 4", len(fired))
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now = %d, want 100 (deadline advances even when drained)", k.Now())
+	}
+}
+
+func TestKernelRunUntilSkipsCancelledHead(t *testing.T) {
+	k := NewKernel()
+	h := k.At(5, func(Time) { t.Error("cancelled event fired") })
+	fired := false
+	k.At(6, func(Time) { fired = true })
+	k.Cancel(h)
+	k.RunUntil(10)
+	if !fired {
+		t.Error("live event behind cancelled head never fired")
+	}
+}
+
+func TestKernelPending(t *testing.T) {
+	k := NewKernel()
+	h1 := k.At(1, func(Time) {})
+	k.At(2, func(Time) {})
+	if k.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", k.Pending())
+	}
+	k.Cancel(h1)
+	if k.Pending() != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", k.Pending())
+	}
+}
+
+// Property: any set of scheduled times fires in nondecreasing sorted order,
+// regardless of insertion order.
+func TestKernelOrderingProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, u := range times {
+			k.At(Time(u), func(now Time) { fired = append(fired, now) })
+		}
+		k.Run(0)
+		if len(fired) != len(times) {
+			return false
+		}
+		want := make([]Time, len(times))
+		for i, u := range times {
+			want[i] = Time(u)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two kernels fed the same pseudo-random schedule execute identically —
+// the determinism guarantee every experiment depends on.
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var fired []Time
+		var chain func(Time)
+		remaining := 500
+		chain = func(now Time) {
+			fired = append(fired, now)
+			if remaining > 0 {
+				remaining--
+				k.After(Time(rng.Intn(10)), chain)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			k.At(Time(rng.Intn(50)), chain)
+		}
+		k.Run(0)
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package topology
+
+import "fmt"
+
+// Mesh port numbering. Port PortLocal attaches the processing node; the four
+// direction ports connect neighboring routers.
+const (
+	PortLocal = 0
+	PortEast  = 1
+	PortWest  = 2
+	PortNorth = 3
+	PortSouth = 4
+
+	meshPorts = 5
+)
+
+// Mesh is a W x H 2-D mesh with one router per processing node — the
+// canonical substrate of Compressionless Routing. Deterministic routing is
+// dimension-order (X then Y), which delivers packets between any fixed pair
+// of nodes along a single path and therefore in order; the adaptive
+// candidate set additionally offers the productive Y-direction first hop.
+type Mesh struct {
+	w, h int
+}
+
+// NewMesh constructs a W x H mesh; both dimensions must be positive.
+func NewMesh(w, h int) (*Mesh, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: mesh dimensions must be positive, got %dx%d", w, h)
+	}
+	if w*h > 1<<20 {
+		return nil, fmt.Errorf("topology: mesh %dx%d too large", w, h)
+	}
+	return &Mesh{w: w, h: h}, nil
+}
+
+// MustMesh is NewMesh that panics on invalid arguments.
+func MustMesh(w, h int) *Mesh {
+	m, err := NewMesh(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Topology.
+func (m *Mesh) Name() string { return fmt.Sprintf("mesh(%dx%d)", m.w, m.h) }
+
+// Nodes implements Topology.
+func (m *Mesh) Nodes() int { return m.w * m.h }
+
+// NumRouters implements Topology: one router per node.
+func (m *Mesh) NumRouters() int { return m.w * m.h }
+
+// Width returns the X dimension.
+func (m *Mesh) Width() int { return m.w }
+
+// Height returns the Y dimension.
+func (m *Mesh) Height() int { return m.h }
+
+// Ports implements Topology. Edge routers still report five ports; the
+// off-mesh directions are simply unconnected and never routed to.
+func (m *Mesh) Ports(int) int { return meshPorts }
+
+// XY returns the coordinates of a node or router id.
+func (m *Mesh) XY(id int) (x, y int) { return id % m.w, id / m.w }
+
+// ID returns the node/router id at coordinates (x, y).
+func (m *Mesh) ID(x, y int) int { return y*m.w + x }
+
+// Neighbor implements Topology. Ports that would leave the mesh return
+// (Terminal, 0, Terminal); the routing function never selects them.
+func (m *Mesh) Neighbor(router, port int) (peerRouter, peerPort, node int) {
+	x, y := m.XY(router)
+	switch port {
+	case PortLocal:
+		return Terminal, 0, router
+	case PortEast:
+		if x+1 < m.w {
+			return m.ID(x+1, y), PortWest, Terminal
+		}
+	case PortWest:
+		if x > 0 {
+			return m.ID(x-1, y), PortEast, Terminal
+		}
+	case PortNorth:
+		if y+1 < m.h {
+			return m.ID(x, y+1), PortSouth, Terminal
+		}
+	case PortSouth:
+		if y > 0 {
+			return m.ID(x, y-1), PortNorth, Terminal
+		}
+	}
+	return Terminal, 0, Terminal
+}
+
+// NodePort implements Topology.
+func (m *Mesh) NodePort(node int) (router, port int) { return node, PortLocal }
+
+// Route implements Topology: dimension-order first (X then Y), with the
+// productive Y hop appended as an adaptive alternative while X progress
+// remains.
+func (m *Mesh) Route(router, inPort, dst int) []int {
+	if dst < 0 || dst >= m.Nodes() {
+		return nil
+	}
+	x, y := m.XY(router)
+	dx, dy := m.XY(dst)
+	var xPort, yPort int
+	switch {
+	case dx > x:
+		xPort = PortEast
+	case dx < x:
+		xPort = PortWest
+	}
+	switch {
+	case dy > y:
+		yPort = PortNorth
+	case dy < y:
+		yPort = PortSouth
+	}
+	switch {
+	case xPort != 0 && yPort != 0:
+		return []int{xPort, yPort}
+	case xPort != 0:
+		return []int{xPort}
+	case yPort != 0:
+		return []int{yPort}
+	default:
+		return []int{PortLocal}
+	}
+}
+
+var _ Topology = (*Mesh)(nil)

@@ -1,0 +1,242 @@
+// Package trace reconstructs the paper's protocol step diagrams (Figures
+// 3, 4, 5, and 7) by running the real protocols on a two-node machine and
+// recording the emitted protocol events in order. The output is the
+// executed message flow, not a canned drawing: changing the protocols
+// changes the traces.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"msglayer/internal/cmam"
+	"msglayer/internal/cost"
+	"msglayer/internal/crmsg"
+	"msglayer/internal/machine"
+	"msglayer/internal/network"
+	"msglayer/internal/protocols"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	Seq  int
+	Node int
+	Name string
+	Desc string
+}
+
+// Trace is an ordered protocol event log.
+type Trace struct {
+	Title  string
+	Events []Event
+}
+
+// String renders the trace as an indented step list: source events on the
+// left margin, destination events indented — the visual convention of the
+// paper's figures.
+func (tr Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", tr.Title)
+	for _, e := range tr.Events {
+		indent := "  src  "
+		if e.Node == 1 {
+			indent = "            dst  "
+		}
+		fmt.Fprintf(&b, "%3d %s%s\n", e.Seq, indent, e.Desc)
+	}
+	return b.String()
+}
+
+// descriptions maps protocol event names to figure captions. Events not
+// listed are omitted from traces (backpressure retries and the like).
+var descriptions = map[string]string{
+	"finite.start":         "1. send buffer-allocation request",
+	"finite.allocreq.recv": "2. receive allocation request",
+	"finite.segment.alloc": "2. allocate communication segment",
+	"finite.reply.sent":    "3. reply with segment id",
+	"finite.reply.recv":    "3. receive segment id",
+	"finite.packet.sent":   "4. send data packet (offset carried)",
+	"finite.packet.recv":   "4. store data at carried offset",
+	"finite.segment.free":  "5. deallocate communication segment",
+	"finite.ack.sent":      "6. send completion acknowledgement",
+	"finite.ack.recv":      "6. receive acknowledgement, release copy",
+
+	"stream.srcbuffer":   "1. buffer message for retransmission",
+	"stream.packet.sent": "2. send sequenced packet",
+	"stream.inorder":     "3. in-order arrival: invoke user handler",
+	"stream.outoforder":  "3. out-of-order arrival: buffer packet",
+	"stream.drain":       "3. deliver buffered packet in order",
+	"stream.ack.sent":    "4. acknowledge, releasing source storage",
+	"stream.ack.recv":    "4. acknowledgement frees source buffer",
+
+	"crfinite.start":       "1. inject packets (header carries size)",
+	"crfinite.packet.sent": "1. inject packet",
+	"crfinite.header.recv": "2. header accepted: allocate buffer, store pointer",
+	"crfinite.packet.recv": "3. store packet at cursor (order guaranteed)",
+	"crfinite.done":        "3. last packet invokes user handler",
+	"crfinite.rejected":    "x. header rejected: path torn down, retry",
+
+	"crstream.packet.sent": "1. inject packet",
+	"crstream.packet.recv": "2. deliver packet (order and delivery in hardware)",
+}
+
+// recorder wires event listeners on both nodes of a machine.
+type recorder struct {
+	events []Event
+}
+
+func (r *recorder) attach(m *machine.Machine) {
+	for _, n := range m.Nodes {
+		node := n
+		node.EventListener = func(name string) {
+			desc, ok := descriptions[name]
+			if !ok {
+				return
+			}
+			r.events = append(r.events, Event{
+				Seq:  len(r.events) + 1,
+				Node: node.ID,
+				Name: name,
+				Desc: desc,
+			})
+		}
+	}
+}
+
+func twoNodeCM5(reorder network.ReorderPolicy) *machine.Machine {
+	net := network.MustCM5Net(network.CM5Config{Nodes: 2, Reorder: reorder})
+	m := machine.MustNew(net, cost.MustPaperSchedule(4))
+	m.Node(0).SetRole(cost.Source)
+	m.Node(1).SetRole(cost.Destination)
+	return m
+}
+
+func twoNodeCR() (*machine.Machine, *network.CRNet) {
+	net := network.MustCRNet(network.CRConfig{Nodes: 2})
+	m := machine.MustNew(net, cost.MustPaperSchedule(4))
+	m.Node(0).SetRole(cost.Source)
+	m.Node(1).SetRole(cost.Destination)
+	return m, net
+}
+
+func payload(words int) []network.Word {
+	data := make([]network.Word, words)
+	for i := range data {
+		data[i] = network.Word(i)
+	}
+	return data
+}
+
+// Figure3 runs a small finite-sequence CMAM transfer and returns its step
+// trace.
+func Figure3(words int) (Trace, error) {
+	m := twoNodeCM5(nil)
+	rec := &recorder{}
+	rec.attach(m)
+	src := protocols.NewFinite(cmam.NewEndpoint(m.Node(0)))
+	dst := protocols.NewFinite(cmam.NewEndpoint(m.Node(1)))
+	tr, err := src.Start(1, payload(words))
+	if err != nil {
+		return Trace{}, err
+	}
+	err = machine.Run(10000,
+		machine.StepFunc(func() (bool, error) { return tr.Done(), src.Pump() }),
+		machine.StepFunc(func() (bool, error) { return tr.Done(), dst.Pump() }),
+	)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{
+		Title:  fmt.Sprintf("Figure 3: finite sequence, multi-packet protocol (CMAM), %d words", words),
+		Events: rec.events,
+	}, nil
+}
+
+// Figure4 runs a small indefinite-sequence CMAM stream (with the paper's
+// pair-swap reordering) and returns its step trace.
+func Figure4(packets int) (Trace, error) {
+	m := twoNodeCM5(network.PairSwap())
+	rec := &recorder{}
+	rec.attach(m)
+	src := protocols.MustNewStream(cmam.NewEndpoint(m.Node(0)), protocols.StreamConfig{})
+	dst := protocols.MustNewStream(cmam.NewEndpoint(m.Node(1)), protocols.StreamConfig{})
+	conn := src.Open(1, 0)
+	for i := 0; i < packets; i++ {
+		if err := conn.Send(payload(4)...); err != nil {
+			return Trace{}, err
+		}
+	}
+	err := machine.Run(10000,
+		machine.StepFunc(func() (bool, error) { return conn.Idle(), src.Pump() }),
+		machine.StepFunc(func() (bool, error) { return conn.Idle(), dst.Pump() }),
+	)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{
+		Title:  fmt.Sprintf("Figure 4: indefinite sequence, multi-packet protocol (CMAM), %d packets", packets),
+		Events: rec.events,
+	}, nil
+}
+
+// Figure5 runs a small finite-sequence transfer over the CR substrate.
+func Figure5(words int) (Trace, error) {
+	m, net := twoNodeCR()
+	rec := &recorder{}
+	rec.attach(m)
+	done := false
+	src, err := crmsg.NewFinite(cmam.NewEndpoint(m.Node(0)), net, crmsg.FiniteConfig{})
+	if err != nil {
+		return Trace{}, err
+	}
+	dst, err := crmsg.NewFinite(cmam.NewEndpoint(m.Node(1)), net, crmsg.FiniteConfig{
+		OnReceive: func(int, []network.Word) { done = true },
+	})
+	if err != nil {
+		return Trace{}, err
+	}
+	tr, err := src.Start(1, payload(words))
+	if err != nil {
+		return Trace{}, err
+	}
+	err = machine.Run(10000,
+		machine.StepFunc(func() (bool, error) { return tr.Done() && done, src.Pump() }),
+		machine.StepFunc(func() (bool, error) { return tr.Done() && done, dst.Pump() }),
+	)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{
+		Title:  fmt.Sprintf("Figure 5: finite sequence protocol with high-level network features (CR), %d words", words),
+		Events: rec.events,
+	}, nil
+}
+
+// Figure7 runs a small indefinite-sequence stream over the CR substrate.
+func Figure7(packets int) (Trace, error) {
+	m, _ := twoNodeCR()
+	rec := &recorder{}
+	rec.attach(m)
+	delivered := 0
+	src := crmsg.MustNewStream(cmam.NewEndpoint(m.Node(0)), crmsg.StreamConfig{})
+	dst := crmsg.MustNewStream(cmam.NewEndpoint(m.Node(1)), crmsg.StreamConfig{
+		OnDeliver: func(int, uint8, []network.Word) { delivered++ },
+	})
+	conn := src.Open(1, 0)
+	for i := 0; i < packets; i++ {
+		if err := conn.Send(payload(4)...); err != nil {
+			return Trace{}, err
+		}
+	}
+	err := machine.Run(10000,
+		machine.StepFunc(func() (bool, error) { return delivered == packets, src.Pump() }),
+		machine.StepFunc(func() (bool, error) { return delivered == packets, dst.Pump() }),
+	)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{
+		Title:  fmt.Sprintf("Figure 7: indefinite sequence protocol with high-level network features (CR), %d packets", packets),
+		Events: rec.events,
+	}, nil
+}

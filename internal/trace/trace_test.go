@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// eventNames extracts the raw event sequence.
+func eventNames(tr Trace) []string {
+	names := make([]string, len(tr.Events))
+	for i, e := range tr.Events {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// indexOf returns the first position of an event name, or -1.
+func indexOf(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func count(names []string, want string) int {
+	c := 0
+	for _, n := range names {
+		if n == want {
+			c++
+		}
+	}
+	return c
+}
+
+func TestFigure3TraceStructure(t *testing.T) {
+	tr, err := Figure3(8) // two packets
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := eventNames(tr)
+
+	// The six steps occur in protocol order.
+	order := []string{
+		"finite.start", "finite.allocreq.recv", "finite.segment.alloc",
+		"finite.reply.sent", "finite.reply.recv", "finite.packet.sent",
+		"finite.packet.recv", "finite.segment.free", "finite.ack.sent",
+		"finite.ack.recv",
+	}
+	last := -1
+	for _, step := range order {
+		idx := indexOf(names, step)
+		if idx < 0 {
+			t.Fatalf("missing step %q in trace:\n%s", step, tr)
+		}
+		if idx < last {
+			t.Errorf("step %q out of order in trace:\n%s", step, tr)
+		}
+		last = idx
+	}
+	if got := count(names, "finite.packet.sent"); got != 2 {
+		t.Errorf("packets sent = %d, want 2", got)
+	}
+	// Rendered form mentions the figure and both roles.
+	s := tr.String()
+	if !strings.Contains(s, "Figure 3") || !strings.Contains(s, "src") || !strings.Contains(s, "dst") {
+		t.Errorf("render missing parts:\n%s", s)
+	}
+}
+
+func TestFigure4TraceStructure(t *testing.T) {
+	tr, err := Figure4(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := eventNames(tr)
+	for name, want := range map[string]int{
+		"stream.srcbuffer":   4,
+		"stream.packet.sent": 4,
+		"stream.outoforder":  2,
+		"stream.inorder":     2,
+		"stream.drain":       2,
+		"stream.ack.sent":    4,
+		"stream.ack.recv":    4,
+	} {
+		if got := count(names, name); got != want {
+			t.Errorf("%s = %d, want %d\n%s", name, got, want, tr)
+		}
+	}
+	// Source buffering precedes sending for the first packet.
+	if indexOf(names, "stream.srcbuffer") > indexOf(names, "stream.packet.sent") {
+		t.Error("buffering should precede sending")
+	}
+}
+
+func TestFigure5TraceStructure(t *testing.T) {
+	tr, err := Figure5(12) // three packets
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := eventNames(tr)
+	if got := count(names, "crfinite.packet.sent"); got != 3 {
+		t.Errorf("packets = %d, want 3", got)
+	}
+	if count(names, "crfinite.header.recv") != 1 || count(names, "crfinite.done") != 1 {
+		t.Errorf("header/done counts wrong:\n%s", tr)
+	}
+	// No handshake, no acknowledgement events exist in the CR trace.
+	for _, name := range names {
+		if strings.Contains(name, ".ack") || strings.Contains(name, "alloc") {
+			t.Errorf("CR trace contains software-overhead step %q", name)
+		}
+	}
+}
+
+func TestFigure7TraceStructure(t *testing.T) {
+	tr, err := Figure7(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := eventNames(tr)
+	if count(names, "crstream.packet.sent") != 3 || count(names, "crstream.packet.recv") != 3 {
+		t.Errorf("trace counts wrong:\n%s", tr)
+	}
+	for _, name := range names {
+		if strings.Contains(name, ".ack") || strings.Contains(name, "buffer") {
+			t.Errorf("CR stream trace contains overhead step %q", name)
+		}
+	}
+}
+
+func TestTraceEventsCarrySeqAndNodes(t *testing.T) {
+	tr, err := Figure3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range tr.Events {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Node != 0 && e.Node != 1 {
+			t.Errorf("event %d on node %d", i, e.Node)
+		}
+		if e.Desc == "" {
+			t.Errorf("event %q has no description", e.Name)
+		}
+	}
+}

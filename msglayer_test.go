@@ -1,0 +1,397 @@
+package msglayer
+
+import (
+	"strings"
+	"testing"
+)
+
+// The doc-comment quick start, as a test: an active message crosses the
+// machine and the Table 1 costs appear on the gauges.
+func TestQuickStart(t *testing.T) {
+	m, err := NewCM5Machine(CM5Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Node(0).SetRole(RoleSource)
+	m.Node(1).SetRole(RoleDestination)
+
+	ep0 := NewEndpoint(m.Node(0))
+	ep1 := NewEndpoint(m.Node(1))
+	var got []Word
+	ep1.Register(1, func(src int, args []Word) { got = args })
+
+	if err := ep0.AM4(1, 1, 10, 20, 30, 40); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := ep1.PollSingle(); err != nil || !ok {
+		t.Fatalf("PollSingle = %v, %v", ok, err)
+	}
+	if len(got) != 4 || got[0] != 10 {
+		t.Errorf("handler saw %v", got)
+	}
+
+	out := RenderTable1(m.TotalGauge())
+	if !strings.Contains(out, "20") || !strings.Contains(out, "27") {
+		t.Errorf("Table 1 render:\n%s", out)
+	}
+}
+
+// A full finite transfer through the public API on both substrates.
+func TestPublicFiniteTransferBothSubstrates(t *testing.T) {
+	data := make([]Word, 64)
+	for i := range data {
+		data[i] = Word(i)
+	}
+
+	// CM-5 substrate.
+	m, err := NewCM5Machine(CM5Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Node(0).SetRole(RoleSource)
+	m.Node(1).SetRole(RoleDestination)
+	src := NewFinite(NewEndpoint(m.Node(0)))
+	dst := NewFinite(NewEndpoint(m.Node(1)))
+	var cm5Got []Word
+	dst.OnReceive = func(_ int, buf []Word) { cm5Got = buf }
+	tr, err := src.Start(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(100000,
+		StepFunc(func() (bool, error) { return tr.Done(), src.Pump() }),
+		StepFunc(func() (bool, error) { return tr.Done(), dst.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm5Got) != 64 || cm5Got[63] != 63 {
+		t.Errorf("CM-5 transfer corrupted")
+	}
+
+	// CR substrate.
+	crm, err := NewCRMachine(CROptions{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crm.Node(0).SetRole(RoleSource)
+	crm.Node(1).SetRole(RoleDestination)
+	crSrc, err := NewCRFinite(NewEndpoint(crm.Node(0)), crm, CRFiniteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crGot []Word
+	crDst, err := NewCRFinite(NewEndpoint(crm.Node(1)), crm, CRFiniteConfig{
+		OnReceive: func(_ int, buf []Word) { crGot = buf },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := crSrc.Start(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(100000,
+		StepFunc(func() (bool, error) { return ctr.Done() && crGot != nil, crSrc.Pump() }),
+		StepFunc(func() (bool, error) { return ctr.Done() && crGot != nil, crDst.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crGot) != 64 {
+		t.Errorf("CR transfer corrupted")
+	}
+
+	// The headline claim through the public API: CR cost < CMAM cost, and
+	// CR charges nothing to the overhead features.
+	cmCost := m.TotalGauge().Total().Total()
+	crCost := crm.TotalGauge().Total().Total()
+	if crCost >= cmCost {
+		t.Errorf("CR cost %d not below CMAM cost %d", crCost, cmCost)
+	}
+	crCells := MergeRoles(crm.Node(0).Gauge, crm.Node(1).Gauge)
+	if !crCells[RoleSource][InOrder].IsZero() || !crCells[RoleDestination][FaultTol].IsZero() {
+		t.Error("CR charged overhead features")
+	}
+}
+
+func TestPublicStreams(t *testing.T) {
+	m, err := NewCM5Machine(CM5Options{Nodes: 2, HalfOutOfOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Node(0).SetRole(RoleSource)
+	m.Node(1).SetRole(RoleDestination)
+	src, err := NewStream(NewEndpoint(m.Node(0)), StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words []Word
+	dst, err := NewStream(NewEndpoint(m.Node(1)), StreamConfig{
+		OnDeliver: func(_ int, _ uint8, data []Word) { words = append(words, data...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := src.Open(1, 0)
+	for i := 0; i < 16; i++ {
+		if err := c.Send(Word(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = Run(100000,
+		StepFunc(func() (bool, error) { return c.Idle(), src.Pump() }),
+		StepFunc(func() (bool, error) { return c.Idle(), dst.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if w != Word(i) {
+			t.Fatalf("word %d = %d (order violated)", i, w)
+		}
+	}
+}
+
+func TestPublicTraces(t *testing.T) {
+	for name, run := range map[string]func() (Trace, error){
+		"fig3": func() (Trace, error) { return TraceFigure3(8) },
+		"fig4": func() (Trace, error) { return TraceFigure4(2) },
+		"fig5": func() (Trace, error) { return TraceFigure5(8) },
+		"fig7": func() (Trace, error) { return TraceFigure7(2) },
+	} {
+		tr, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Events) == 0 || tr.String() == "" {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestPublicFlitNet(t *testing.T) {
+	topo, err := NewFatTree(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := NewFlitNet(FlitConfig{Topology: topo, Mode: RouteCR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Inject(Packet{Src: 0, Dst: 3, Data: []Word{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if !fn.TickUntilQuiet(10000) {
+		t.Fatal("flit net did not drain")
+	}
+	p, ok := fn.TryRecv(3)
+	if !ok || p.Data[0] != 7 {
+		t.Errorf("flit delivery = %+v, %v", p, ok)
+	}
+
+	if _, err := NewMesh(3, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultPlanConstructors(t *testing.T) {
+	if NewEveryNthDropPlan(2) == nil || NewEveryNthCorruptPlan(2) == nil ||
+		NewSeededFaultPlan(0.1, 1) == nil {
+		t.Fatal("nil plan")
+	}
+	m, err := NewCM5Machine(CM5Options{Nodes: 2, Faults: NewEveryNthDropPlan(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := NewEndpoint(m.Node(0))
+	if err := ep.AM4(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewEndpoint(m.Node(1))
+	dst.Register(1, func(int, []Word) { t.Error("dropped packet arrived") })
+	if ok, _ := dst.PollSingle(); ok {
+		t.Error("PollSingle returned a dropped packet")
+	}
+}
+
+func TestScheduleConstructor(t *testing.T) {
+	s, err := NewPaperSchedule(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PacketWords != 8 {
+		t.Errorf("PacketWords = %d", s.PacketWords)
+	}
+	if _, err := NewPaperSchedule(3); err == nil {
+		t.Error("accepted odd packet size")
+	}
+	if UnitModel.Cost(Vec{Reg: 1, Mem: 1, Dev: 1}) != 3 {
+		t.Error("unit model wrong")
+	}
+	if CM5Model.Cost(Vec{Dev: 1}) != 5 {
+		t.Error("cm5 model wrong")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	m, err := NewCM5Machine(CM5Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := BreakdownOf(m.TotalGauge())
+	if out := RenderFeatureTable("empty", cells); !strings.Contains(out, "Total") {
+		t.Errorf("feature table:\n%s", out)
+	}
+	if out := RenderCategoryTable("empty", cells); !strings.Contains(out, "reg") {
+		t.Errorf("category table:\n%s", out)
+	}
+}
+
+func TestPublicCollectives(t *testing.T) {
+	const nodes = 4
+	m, err := NewCM5Machine(CM5Options{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*Comm, nodes)
+	for i := 0; i < nodes; i++ {
+		c, err := NewComm(NewEndpoint(m.Node(i)), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[i] = c
+	}
+	preds := make([]func() (Word, bool), nodes)
+	for i, c := range comms {
+		p, err := c.ReduceBegin(Word(i+1), ReduceSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	done := func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	steppers := make([]Stepper, nodes)
+	for i, c := range comms {
+		steppers[i] = c.Stepper(done)
+	}
+	if err := Run(10000, steppers...); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if got, _ := p(); got != 10 {
+			t.Errorf("rank %d reduce = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestPublicRPCOverDualNetworks(t *testing.T) {
+	m, err := NewDualCM5Machine(CM5Options{Nodes: 2, Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewRPC(NewEndpoint(m.Node(1)), func(src int, args []Word) []Word {
+		return []Word{args[0] + 1}
+	})
+	client := NewRPC(NewEndpoint(m.Node(0)), nil)
+	call, err := client.Request(1, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(1000,
+		StepFunc(func() (bool, error) { return call.Done(), client.Pump() }),
+		StepFunc(func() (bool, error) { return call.Done(), server.Pump() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := call.Reply(); len(got) != 1 || got[0] != 42 {
+		t.Errorf("reply = %v", got)
+	}
+	if m.Node(0).ReplyNI == nil {
+		t.Error("dual machine missing reply NI")
+	}
+}
+
+func TestPublicControlNetwork(t *testing.T) {
+	const nodes = 4
+	m, err := NewCM5Machine(CM5Options{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := NewControlNet(nodes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*Comm, nodes)
+	preds := make([]func() (Word, bool), nodes)
+	for i := 0; i < nodes; i++ {
+		c, err := NewComm(NewEndpoint(m.Node(i)), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachControlNetwork(cn); err != nil {
+			t.Fatal(err)
+		}
+		comms[i] = c
+		p, err := c.HWReduceBegin(Word(i+1), CombineMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	done := func() bool {
+		for _, p := range preds {
+			if _, ok := p(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	steppers := make([]Stepper, nodes)
+	for i, c := range comms {
+		steppers[i] = c.Stepper(done)
+	}
+	if err := Run(10000, steppers...); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if got, _ := p(); got != nodes {
+			t.Errorf("rank %d max = %d, want %d", i, got, nodes)
+		}
+	}
+	if _, err := NewControlNet(0, 0); err == nil {
+		t.Error("accepted bad control net config")
+	}
+}
+
+func TestPublicAnalyticModel(t *testing.T) {
+	s, err := NewPaperSchedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateModel(ModelIndefiniteCMAM, s, ModelParams{
+		MessageWords: 1024, OutOfOrder: 128, AckGroup: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Total().Total(); got != 29965 {
+		t.Errorf("model total = %d, want 29965", got)
+	}
+	pts, err := OverheadSweep(ModelFiniteCMAM, 1024, []int{4, 8})
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("sweep = %v, %v", pts, err)
+	}
+	words, ok := CrossoverWords(ModelFiniteCMAM, ModelIndefiniteCMAM, s, 1024)
+	if !ok || words != 16 {
+		t.Errorf("crossover = %d, %v; want 16", words, ok)
+	}
+}

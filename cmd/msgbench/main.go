@@ -8,19 +8,46 @@
 //	msgbench -figure 6        # one figure (6 or 8)
 //	msgbench -ablations       # the prose-claim ablations and the flit demo
 //	msgbench -quiet           # only the paper-vs-measured summary
+//	msgbench -json            # machine-readable result summary on stdout
+//	msgbench -metrics m.txt   # dump runtime metrics ("-" = stdout)
+//	msgbench -trace-out t.json  # dump a Chrome trace of the runs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"msglayer/internal/experiments"
+	"msglayer/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonComparison is one paper-vs-measured row of the -json summary.
+type jsonComparison struct {
+	Name     string `json:"name"`
+	Paper    uint64 `json:"paper"`
+	Measured uint64 `json:"measured"`
+	Match    bool   `json:"match"`
+	Note     string `json:"note,omitempty"`
+}
+
+// jsonResult is one experiment of the -json summary.
+type jsonResult struct {
+	ID          string           `json:"id"`
+	Title       string           `json:"title"`
+	Comparisons []jsonComparison `json:"comparisons"`
+}
+
+// jsonSummary is the toplevel -json document.
+type jsonSummary struct {
+	Results    []jsonResult `json:"results"`
+	Mismatches int          `json:"mismatches"`
 }
 
 // run executes the tool; factored out of main for testing.
@@ -31,8 +58,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	figure := fs.Int("figure", 0, "run a single figure (6 or 8)")
 	ablations := fs.Bool("ablations", false, "run the ablation experiments")
 	quiet := fs.Bool("quiet", false, "print only the comparison summary")
+	asJSON := fs.Bool("json", false, "print a machine-readable JSON summary instead of text")
+	metrics := fs.String("metrics", "", "dump runtime metrics to a file after the runs (\"-\" = stdout)")
+	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON of the runs (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var hub *obs.Hub
+	if *metrics != "" || *traceOut != "" {
+		hub = obs.NewHub()
+		experiments.SetObserver(hub)
+		defer experiments.SetObserver(nil)
 	}
 
 	var results []experiments.Result
@@ -61,31 +98,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	mismatches := 0
+	summary := jsonSummary{Results: []jsonResult{}}
 	for _, r := range results {
-		fmt.Fprintf(stdout, "==== %s ====\n", r.Title)
-		if !*quiet {
-			fmt.Fprintln(stdout, r.Text)
-		}
+		jr := jsonResult{ID: r.ID, Title: r.Title, Comparisons: []jsonComparison{}}
 		for _, c := range r.Comparisons {
-			status := "ok"
 			if !c.Match() {
-				status = "MISMATCH"
 				mismatches++
 			}
-			note := ""
-			if c.Note != "" {
-				note = "  [" + c.Note + "]"
-			}
-			fmt.Fprintf(stdout, "  %-58s paper %8d  measured %8d  %s%s\n",
-				c.Name, c.Paper, c.Measured, status, note)
+			jr.Comparisons = append(jr.Comparisons, jsonComparison{
+				Name: c.Name, Paper: c.Paper, Measured: c.Measured, Match: c.Match(), Note: c.Note,
+			})
 		}
-		fmt.Fprintln(stdout)
+		summary.Results = append(summary.Results, jr)
 	}
+	summary.Mismatches = mismatches
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			fmt.Fprintln(stderr, "msgbench:", err)
+			return 1
+		}
+	} else {
+		for _, r := range results {
+			fmt.Fprintf(stdout, "==== %s ====\n", r.Title)
+			if !*quiet {
+				fmt.Fprintln(stdout, r.Text)
+			}
+			for _, c := range r.Comparisons {
+				status := "ok"
+				if !c.Match() {
+					status = "MISMATCH"
+				}
+				note := ""
+				if c.Note != "" {
+					note = "  [" + c.Note + "]"
+				}
+				fmt.Fprintf(stdout, "  %-58s paper %8d  measured %8d  %s%s\n",
+					c.Name, c.Paper, c.Measured, status, note)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+
+	if hub != nil {
+		if *metrics != "" {
+			if err := writeTo(*metrics, stdout, hub.Metrics.WritePrometheus); err != nil {
+				fmt.Fprintln(stderr, "msgbench:", err)
+				return 1
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, stdout, hub.Trace.WriteChromeTrace); err != nil {
+				fmt.Fprintln(stderr, "msgbench:", err)
+				return 1
+			}
+		}
+	}
+
 	if mismatches > 0 {
 		fmt.Fprintf(stderr, "msgbench: %d comparisons diverged from the paper\n", mismatches)
 		return 1
 	}
 	return 0
+}
+
+// writeTo renders into a file, or stdout for "-".
+func writeTo(dest string, stdout io.Writer, render func(io.Writer) error) error {
+	if dest == "-" {
+		return render(stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
 }
 
 func one(runOne func() (experiments.Result, error)) ([]experiments.Result, error) {

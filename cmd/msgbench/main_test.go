@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +49,66 @@ func TestRunBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d for bad flag", code)
+	}
+}
+
+func TestObsMsgbenchJSONSummary(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table", "1", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var doc struct {
+		Results []struct {
+			ID          string `json:"id"`
+			Comparisons []struct {
+				Name  string `json:"name"`
+				Match bool   `json:"match"`
+			} `json:"comparisons"`
+		} `json:"results"`
+		Mismatches int `json:"mismatches"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(doc.Results) != 1 || doc.Results[0].ID != "table1" {
+		t.Fatalf("unexpected results: %+v", doc.Results)
+	}
+	if doc.Mismatches != 0 {
+		t.Fatalf("mismatches = %d, want 0", doc.Mismatches)
+	}
+	for _, c := range doc.Results[0].Comparisons {
+		if !c.Match {
+			t.Errorf("comparison %q does not match", c.Name)
+		}
+	}
+}
+
+func TestObsMsgbenchMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.txt")
+	trace := filepath.Join(dir, "trace.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-table", "2", "-quiet", "-metrics", metrics, "-trace-out", trace}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	md, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "msglayer_packets_sent_total") {
+		t.Error("metrics dump has no packet counters")
+	}
+	td, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(td, &doc); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace is empty")
 	}
 }

@@ -12,6 +12,8 @@
 //	netload -topology mesh -w 4 -h 4   # 4x4 mesh
 //	netload -loads 0.05,0.1,0.2        # custom offered loads (pkts/node/cycle)
 //	netload -cycles 4000 -csv
+//	netload -metrics m.txt             # dump flit-level metrics ("-" = stdout)
+//	netload -trace-out t.json          # Chrome trace with one span per point
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
+	"msglayer/internal/obs"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
@@ -49,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	vcs := fs.Int("vc", 1, "virtual channels (adaptive mesh needs >= 2)")
 	patternArg := fs.String("pattern", "uniform",
 		"traffic pattern: uniform, hotspot[:node:permille], transpose, bitcomplement, neighbor")
+	metricsOut := fs.String("metrics", "", "dump flit-level metrics to a file (\"-\" = stdout)")
+	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON, one span per measure point (\"-\" = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -84,6 +89,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		names = append(names, m.String()+" thru", m.String()+" lat")
 	}
 
+	var hub *obs.Hub
+	if *metricsOut != "" || *traceOut != "" {
+		hub = obs.NewHub()
+	}
+
 	var points []report.SeriesPoint
 	for _, load := range loads {
 		values := make([]float64, 0, 2*len(modes))
@@ -93,10 +103,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "netload:", err)
 				return 1
 			}
-			thru, lat, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed)
+			thru, lat, st, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed)
 			if err != nil {
 				fmt.Fprintln(stderr, "netload:", err)
 				return 1
+			}
+			if hub != nil {
+				recordPoint(hub, mode, load, st)
 			}
 			values = append(values, thru, lat)
 		}
@@ -104,6 +117,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			X:      int(load * 1000), // permille for the integer axis
 			Values: values,
 		})
+	}
+
+	if hub != nil {
+		if *metricsOut != "" {
+			if err := writeTo(*metricsOut, stdout, hub.Metrics.WritePrometheus); err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				return 1
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, stdout, hub.Trace.WriteChromeTrace); err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				return 1
+			}
+		}
 	}
 
 	title := fmt.Sprintf("Delivered throughput (pkts/node/kcycle) and mean latency (cycles) vs offered load (x = load*1000), %s, %s traffic",
@@ -117,9 +145,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // measure runs one (topology, mode, pattern, load) point and returns
-// delivered packets per node per kilocycle and the mean packet latency in
-// cycles.
-func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64) (float64, float64, error) {
+// delivered packets per node per kilocycle, the mean packet latency in
+// cycles, and the raw flit-level stats for the observability dump.
+func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64) (float64, float64, flitnet.Stats, error) {
 	net, err := flitnet.New(flitnet.Config{
 		Topology:        topo,
 		Mode:            mode,
@@ -128,12 +156,12 @@ func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workloa
 		VirtualChannels: vcs,
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, flitnet.Stats{}, err
 	}
 	nodes := net.Nodes()
 	gen, err := workload.NewGenerator(pattern, nodes, load, seed)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, flitnet.Stats{}, err
 	}
 	for c := 0; c < cycles; c++ {
 		for _, a := range gen.Cycle() {
@@ -157,7 +185,58 @@ func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workloa
 	}
 	st := net.FlitStats()
 	thru := float64(st.Delivered) / float64(nodes) / float64(cycles) * 1000
-	return thru, st.MeanLatency(), nil
+	return thru, st.MeanLatency(), st, nil
+}
+
+// recordPoint files one measure point's flit-level stats into the metrics
+// registry, labeled by routing mode and offered load (permille), and records
+// one Chrome-trace duration span per point so the sweep reads as a timeline.
+func recordPoint(h *obs.Hub, mode flitnet.Mode, load float64, st flitnet.Stats) {
+	key := func(name string) obs.Key {
+		return obs.Key{
+			Name:  name,
+			Node:  -1,
+			Proto: mode.String(),
+			Event: fmt.Sprintf("load_%d", int(load*1000)),
+		}
+	}
+	h.Metrics.Counter(key("netload_injected_total")).Add(st.Injected)
+	h.Metrics.Counter(key("netload_delivered_total")).Add(st.Delivered)
+	h.Metrics.Counter(key("netload_backpressure_total")).Add(st.Backpressure)
+	h.Metrics.Counter(key("netload_kills_total")).Add(st.Kills)
+	h.Metrics.Counter(key("netload_retries_total")).Add(st.Retries)
+	h.Metrics.Counter(key("netload_flit_moves_total")).Add(st.FlitMoves)
+	h.Metrics.Counter(key("netload_failed_worms_total")).Add(st.FailedWorms)
+	h.Metrics.Counter(key("netload_cycles_total")).Add(st.Cycles)
+	h.Metrics.Level(key("netload_latency_max_cycles")).Set(int64(st.LatencyMax))
+	// The registry is integer-valued; keep three decimals of the mean.
+	h.Metrics.Level(key("netload_latency_mean_millicycles")).Set(int64(st.MeanLatency() * 1000))
+
+	// One span per measure point, laid end to end: the span length is the
+	// point's simulated cycle count, so relative widths on a perfetto
+	// timeline compare drain times across modes and loads.
+	h.Trace.Record(obs.TraceEvent{
+		TS:    h.Trace.Now() + 1,
+		Node:  -1,
+		Name:  "netload." + mode.String() + ".load_" + fmt.Sprint(int(load*1000)),
+		Proto: mode.String(),
+		Axis:  obs.AxisOther,
+		Dur:   st.Cycles,
+		Phase: obs.PhaseComplete,
+	})
+}
+
+// writeTo renders into a file, or stdout for "-".
+func writeTo(dest string, stdout io.Writer, render func(io.Writer) error) error {
+	if dest == "-" {
+		return render(stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
 }
 
 func parseLoads(s string) ([]float64, error) {

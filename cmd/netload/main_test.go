@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -55,11 +58,11 @@ func TestRunErrors(t *testing.T) {
 // sane (at least the minimum path length).
 func TestMeasureMonotoneBelowSaturation(t *testing.T) {
 	topo := topology.MustFatTree(2, 2)
-	lo, latLo, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7)
+	lo, latLo, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, latHi, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7)
+	hi, latHi, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +71,78 @@ func TestMeasureMonotoneBelowSaturation(t *testing.T) {
 	}
 	if latLo < 3 || latHi < latLo {
 		t.Errorf("latency odd: %.1f at low load, %.1f at high", latLo, latHi)
+	}
+}
+
+// TestObsNetloadMetricsAndTrace exercises the -metrics/-trace-out flags: the
+// dump must label every (mode, load) point and the trace must carry one
+// duration span per point.
+func TestObsNetloadMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.txt")
+	trace := filepath.Join(dir, "trace.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-loads", "0.05,0.2", "-cycles", "300", "-k", "2", "-levels", "2",
+		"-metrics", metrics, "-trace-out", trace}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+
+	md, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"deterministic", "adaptive", "cr"} {
+		for _, load := range []string{"load_50", "load_200"} {
+			want := `msglayer_netload_delivered_total{proto="` + mode + `",event="` + load + `"}`
+			if !strings.Contains(string(md), want) {
+				t.Errorf("metrics missing series %s:\n%s", want, md)
+			}
+		}
+	}
+	if !strings.Contains(string(md), "msglayer_netload_latency_mean_millicycles") {
+		t.Errorf("metrics missing mean latency gauge:\n%s", md)
+	}
+
+	td, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(td, &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" && strings.HasPrefix(e.Name, "netload.") {
+			spans++
+		}
+	}
+	// 3 modes x 2 loads.
+	if spans != 6 {
+		t.Errorf("got %d netload spans, want 6", spans)
+	}
+}
+
+// TestObsNetloadDeterministic runs the same sweep twice and requires
+// byte-identical metrics dumps.
+func TestObsNetloadDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errOut strings.Builder
+		code := run([]string{"-loads", "0.1", "-cycles", "200", "-k", "2", "-levels", "2",
+			"-metrics", "-"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("netload metrics dump differs between identical runs")
 	}
 }
 

@@ -131,7 +131,11 @@ func (ep *Endpoint) Send(dst int, tag network.Tag, head network.Word, data []net
 	if len(data) > 0 {
 		ni.StageData(data...)
 	}
-	return ni.Push()
+	err := ni.Push()
+	if err == nil {
+		ep.node.Obs.PacketSent()
+	}
+	return err
 }
 
 // AM4 sends a CMAM_4 active message carrying up to four words, charging the
@@ -171,7 +175,11 @@ func (ep *Endpoint) ReplyAM4(dst int, h HandlerID, args ...network.Word) error {
 	if len(args) > 0 {
 		nic.StageData(args...)
 	}
-	return nic.Push()
+	err := nic.Push()
+	if err == nil {
+		ep.node.Obs.PacketSent()
+	}
+	return err
 }
 
 // AllocSegment associates a fresh segment id with a target buffer expecting
@@ -194,6 +202,7 @@ func (ep *Endpoint) AllocSegment(buf []network.Word, expectWords int, onPacket f
 				onPacket:  onPacket,
 				onDone:    onDone,
 			}
+			ep.node.Obs.SegmentAlloc()
 			return id, nil
 		}
 	}
@@ -210,6 +219,7 @@ func (ep *Endpoint) FreeSegment(id SegmentID) error {
 	}
 	delete(ep.segments, id)
 	ep.tombstones[id] = true
+	ep.node.Obs.SegmentFree()
 	return nil
 }
 
@@ -261,6 +271,7 @@ func (ep *Endpoint) Poll(budget int) (int, error) {
 		if err := ep.dispatch(nic); err != nil {
 			return count, err
 		}
+		ep.node.Obs.PacketReceived()
 		count++
 	}
 	return count, nil

@@ -228,6 +228,11 @@ func (f *Finite) pumpOne(t *Transfer) error {
 	}
 	if t.sent >= len(t.data) {
 		delete(f.outgoing, t.id)
+		// Source-side completion marker: on this substrate injection is
+		// delivery, so the last packet entering the network completes the
+		// transfer as seen from the source. The event charges nothing; it
+		// closes the crfinite.xfer.src observability span.
+		node.Event("crfinite.complete")
 	}
 	return nil
 }

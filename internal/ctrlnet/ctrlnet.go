@@ -17,6 +17,8 @@ package ctrlnet
 import (
 	"errors"
 	"fmt"
+
+	"msglayer/internal/obs"
 )
 
 // Op is a combining operation supported by the tree hardware.
@@ -107,6 +109,8 @@ type Net struct {
 
 	cycle      uint64
 	operations uint64 // completed combine rounds
+
+	obs *obs.CtrlScope
 }
 
 // New builds a control network over the given number of nodes with the
@@ -139,6 +143,10 @@ func MustNew(nodes, fanout int) *Net {
 	return n
 }
 
+// SetObserver installs (or clears, with nil) an observability scope that
+// counts combines, scans, busy rejections, and hardware cycles.
+func (n *Net) SetObserver(s *obs.CtrlScope) { n.obs = s }
+
 // Nodes returns the number of attached nodes.
 func (n *Net) Nodes() int { return n.nodes }
 
@@ -162,15 +170,18 @@ func (n *Net) Contribute(node int, op Op, value uint32) error {
 		return fmt.Errorf("%w: %d", errBadNode, node)
 	}
 	if n.scan != nil {
+		n.obs.Busy()
 		return ErrBusy // a scan holds the tree
 	}
 	switch n.state {
 	case roundDone:
 		return ErrRoundOpen
 	case roundClimbing, roundDescending:
+		n.obs.Busy()
 		return ErrBusy
 	}
 	if n.contributed[node] {
+		n.obs.Busy()
 		return ErrBusy
 	}
 	if n.pending == n.nodes {
@@ -190,6 +201,7 @@ func (n *Net) Contribute(node int, op Op, value uint32) error {
 			// A single-leaf tree combines at the leaf itself.
 			n.state = roundDone
 			n.operations++
+			n.obs.CombineDone()
 		} else {
 			n.state = roundClimbing
 			n.phase = 0
@@ -200,6 +212,7 @@ func (n *Net) Contribute(node int, op Op, value uint32) error {
 
 // Tick advances the combining hardware.
 func (n *Net) Tick(cycles int) {
+	n.obs.Ticks(cycles)
 	for i := 0; i < cycles; i++ {
 		n.cycle++
 		switch n.state {
@@ -214,6 +227,7 @@ func (n *Net) Tick(cycles int) {
 			if n.phase >= n.depth {
 				n.state = roundDone
 				n.operations++
+				n.obs.CombineDone()
 			}
 		}
 	}
@@ -275,9 +289,11 @@ func (n *Net) ScanContribute(node int, op Op, value uint32) error {
 		case roundDone:
 			return ErrRoundOpen
 		case roundClimbing, roundDescending:
+			n.obs.Busy()
 			return ErrBusy
 		}
 		if n.pending != n.nodes {
+			n.obs.Busy()
 			return ErrBusy // a combine round is gathering
 		}
 		n.scan = &scanState{
@@ -294,6 +310,7 @@ func (n *Net) ScanContribute(node int, op Op, value uint32) error {
 		return ErrRoundOpen
 	}
 	if s.entered[node] {
+		n.obs.Busy()
 		return ErrBusy
 	}
 	if s.pending == n.nodes {
@@ -335,6 +352,7 @@ func (n *Net) ScanResult(node int) (uint32, bool) {
 	if s.unread == 0 {
 		n.scan = nil
 		n.operations++
+		n.obs.ScanDone()
 	}
 	return v, true
 }

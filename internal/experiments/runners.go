@@ -12,9 +12,19 @@ import (
 	"msglayer/internal/crmsg"
 	"msglayer/internal/machine"
 	"msglayer/internal/network"
+	"msglayer/internal/obs"
 	"msglayer/internal/protocols"
 	"msglayer/internal/report"
 )
+
+// observer, when set, is attached to every machine the drivers build, so
+// one hub accumulates metrics and trace events across a whole run of
+// experiments.
+var observer *obs.Hub
+
+// SetObserver installs (or clears, with nil) the hub experiment machines
+// record through.
+func SetObserver(h *obs.Hub) { observer = h }
 
 // Result is one experiment's output.
 type Result struct {
@@ -60,6 +70,9 @@ func twoNode(net network.Network) (*machine.Machine, error) {
 	}
 	m.Node(0).SetRole(cost.Source)
 	m.Node(1).SetRole(cost.Destination)
+	if observer != nil {
+		m.AttachObserver(observer)
+	}
 	return m, nil
 }
 
@@ -97,7 +110,7 @@ func runFiniteCMAM(words, packetWords int) (report.Cells, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = machine.Run(maxRounds,
+	err = m.Run(maxRounds,
 		machine.StepFunc(func() (bool, error) { return tr.Done(), src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return tr.Done(), dst.Pump() }),
 	)
@@ -143,7 +156,7 @@ func runStreamCMAM(words, packetWords, ackGroup int) (report.Cells, error) {
 			return nil, err
 		}
 	}
-	err = machine.Run(maxRounds,
+	err = m.Run(maxRounds,
 		machine.StepFunc(func() (bool, error) { return conn.Idle(), src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return conn.Idle(), dst.Pump() }),
 	)
@@ -182,7 +195,7 @@ func runFiniteCR(words, packetWords int) (report.Cells, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = machine.Run(maxRounds,
+	err = m.Run(maxRounds,
 		machine.StepFunc(func() (bool, error) { return tr.Done() && received != nil, src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return tr.Done() && received != nil, dst.Pump() }),
 	)
@@ -221,7 +234,7 @@ func runStreamCR(words, packetWords int) (report.Cells, error) {
 			return nil, err
 		}
 	}
-	err = machine.Run(maxRounds,
+	err = m.Run(maxRounds,
 		machine.StepFunc(func() (bool, error) { return conn.Idle() && len(got) == words, src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return conn.Idle() && len(got) == words, dst.Pump() }),
 	)

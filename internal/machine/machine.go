@@ -11,6 +11,7 @@ import (
 	"msglayer/internal/cost"
 	"msglayer/internal/network"
 	"msglayer/internal/ni"
+	"msglayer/internal/obs"
 )
 
 // Node is one processing node of the simulated parallel machine.
@@ -34,6 +35,10 @@ type Node struct {
 	// emission order (the trace package uses this to reconstruct the
 	// paper's protocol step diagrams).
 	EventListener func(name string)
+	// Obs, when non-nil, is the node's observability scope; every named
+	// protocol event and the CMAM packet/segment hooks record through it.
+	// Nil (the default) keeps the packet path free of observability cost.
+	Obs *obs.NodeScope
 
 	role cost.Role
 }
@@ -55,18 +60,21 @@ func (n *Node) Charge(f cost.Feature, items cost.Items) {
 }
 
 // Event records a named protocol event on the node's gauge and notifies the
-// listener, if any.
+// listener and observability scope, if any.
 func (n *Node) Event(name string) {
 	n.Gauge.CountEvent(name)
 	if n.EventListener != nil {
 		n.EventListener(name)
 	}
+	n.Obs.Event(name)
 }
 
 // Machine is a set of nodes sharing one network substrate.
 type Machine struct {
 	Net   network.Network
 	Nodes []*Node
+
+	hub *obs.Hub
 }
 
 // New builds a machine with one node per network endpoint. All nodes share
@@ -161,6 +169,33 @@ func (m *Machine) ResetGauges() {
 	}
 }
 
+// AttachObserver wires an observability hub into the machine: every node
+// gets a recording scope, and the network substrate gets one if it
+// implements obs.NetInstrumentable. Passing nil detaches. Attach before
+// running; the observed Run method ticks the hub's simulated clock and
+// samples per-node receive-queue depths once per round.
+func (m *Machine) AttachObserver(h *obs.Hub) {
+	m.hub = h
+	if h == nil {
+		for _, n := range m.Nodes {
+			n.Obs = nil
+		}
+		if ni, ok := m.Net.(obs.NetInstrumentable); ok {
+			ni.SetObserver(nil)
+		}
+		return
+	}
+	for _, n := range m.Nodes {
+		n.Obs = h.NodeScope(n.ID)
+	}
+	if ni, ok := m.Net.(obs.NetInstrumentable); ok {
+		ni.SetObserver(h.NetScope(m.Net.Name()))
+	}
+}
+
+// Observer returns the attached hub, nil if none.
+func (m *Machine) Observer() *obs.Hub { return m.hub }
+
 // Stepper is one unit of protocol work bound to the machine: each call
 // performs a bounded amount of progress and reports whether the protocol
 // has completed.
@@ -206,3 +241,50 @@ type StepFunc func() (bool, error)
 
 // Step implements Stepper.
 func (f StepFunc) Step() (bool, error) { return f() }
+
+// Run drives the steppers like the package-level Run but, when an
+// observer hub is attached, also advances the hub's simulated clock once
+// per round, samples per-node receive-queue depths (if the substrate
+// implements obs.DepthProber), and counts rounds, steps, and stalls.
+// Without a hub it defers to the package-level Run unchanged.
+func (m *Machine) Run(maxRounds int, steppers ...Stepper) error {
+	h := m.hub
+	if h == nil || !h.Enabled() {
+		return Run(maxRounds, steppers...)
+	}
+	rounds := h.Metrics.Counter(obs.Key{Name: "run_rounds_total", Node: -1})
+	steps := h.Metrics.Counter(obs.Key{Name: "run_steps_total", Node: -1})
+	stalls := h.Metrics.Counter(obs.Key{Name: "run_stalls_total", Node: -1})
+	prober, _ := m.Net.(obs.DepthProber)
+
+	done := make([]bool, len(steppers))
+	for round := 0; round < maxRounds; round++ {
+		allDone := true
+		for i, s := range steppers {
+			if done[i] {
+				continue
+			}
+			d, err := s.Step()
+			steps.Inc()
+			if err != nil {
+				return err
+			}
+			done[i] = d
+			if !d {
+				allDone = false
+			}
+		}
+		rounds.Inc()
+		if prober != nil {
+			for _, n := range m.Nodes {
+				n.Obs.RecvQueueDepth(prober.QueueDepth(n.ID))
+			}
+		}
+		h.Tick()
+		if allDone {
+			return nil
+		}
+	}
+	stalls.Inc()
+	return ErrStalled
+}

@@ -1,6 +1,10 @@
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"msglayer/internal/obs"
+)
 
 // CM5Config configures a CM5Net.
 type CM5Config struct {
@@ -36,6 +40,7 @@ type CM5Net struct {
 	flows  map[flowKey]*flowState
 	byDst  [][]*flowState // flows targeting each destination, for flushing
 	stats  Stats
+	obs    *obs.NetScope
 }
 
 // NewCM5Net constructs the network.
@@ -75,6 +80,18 @@ func MustCM5Net(cfg CM5Config) *CM5Net {
 // Name implements Network.
 func (n *CM5Net) Name() string { return "cm5" }
 
+// SetObserver implements obs.NetInstrumentable.
+func (n *CM5Net) SetObserver(s *obs.NetScope) { n.obs = s }
+
+// QueueDepth implements obs.DepthProber: packets buffered toward a node,
+// queued or held in reorderers.
+func (n *CM5Net) QueueDepth(node int) int {
+	if node < 0 || node >= n.cfg.Nodes {
+		return 0
+	}
+	return n.inFlight(node)
+}
+
 // Nodes implements Network.
 func (n *CM5Net) Nodes() int { return n.cfg.Nodes }
 
@@ -97,6 +114,7 @@ func (n *CM5Net) Inject(p Packet) error {
 	}
 	if n.cfg.Capacity > 0 && n.inFlight(p.Dst) >= n.cfg.Capacity {
 		n.stats.Backpressure++
+		n.obs.Backpressure(p.Dst)
 		return ErrBackpressure
 	}
 
@@ -111,10 +129,12 @@ func (n *CM5Net) Inject(p Packet) error {
 	f.nextSeq++
 	p.Data = clonePayload(p.Data)
 	n.stats.Injected++
+	n.obs.Injected()
 
 	switch n.cfg.Faults.Judge(p) {
 	case Drop:
 		n.stats.Dropped++
+		n.obs.Dropped(p.Dst)
 		return nil // the network ate it; nobody is told
 	case Corrupt:
 		p.Corrupt = true
@@ -149,8 +169,10 @@ func (n *CM5Net) TryRecv(node int) (Packet, bool) {
 	p := n.queues[node][0]
 	n.queues[node] = n.queues[node][1:]
 	n.stats.Delivered++
+	n.obs.Delivered()
 	if p.Corrupt {
 		n.stats.CorruptSeen++
+		n.obs.Corrupt(node)
 	}
 	return p, true
 }

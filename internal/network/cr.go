@@ -1,6 +1,10 @@
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"msglayer/internal/obs"
+)
 
 // CRConfig configures a CRNet.
 type CRConfig struct {
@@ -39,6 +43,7 @@ type CRNet struct {
 	acceptors []Acceptor
 	flowSeq   map[flowKey]uint64
 	stats     Stats
+	obs       *obs.NetScope
 }
 
 // NewCRNet constructs the network.
@@ -82,6 +87,17 @@ func (n *CRNet) SetAcceptor(node int, a Acceptor) error {
 // Name implements Network.
 func (n *CRNet) Name() string { return "cr" }
 
+// SetObserver implements obs.NetInstrumentable.
+func (n *CRNet) SetObserver(s *obs.NetScope) { n.obs = s }
+
+// QueueDepth implements obs.DepthProber: packets buffered toward a node.
+func (n *CRNet) QueueDepth(node int) int {
+	if node < 0 || node >= n.cfg.Nodes {
+		return 0
+	}
+	return len(n.queues[node])
+}
+
 // Nodes implements Network.
 func (n *CRNet) Nodes() int { return n.cfg.Nodes }
 
@@ -99,19 +115,23 @@ func (n *CRNet) Inject(p Packet) error {
 	}
 	if a := n.acceptors[p.Dst]; a != nil && !a(p) {
 		n.stats.Rejected++
+		n.obs.Rejected(p.Dst)
 		return ErrRejected
 	}
 	if n.cfg.Capacity > 0 && len(n.queues[p.Dst]) >= n.cfg.Capacity {
 		n.stats.Backpressure++
+		n.obs.Backpressure(p.Dst)
 		return ErrBackpressure
 	}
 	if n.cfg.TransientFaults != nil {
 		// Hardware keeps retrying the worm until its tail is accepted;
 		// each non-Deliver verdict is one transparent retry. The bound
 		// guards against a pathological always-fault plan.
+		before := n.stats.HWRetries
 		for retries := 0; n.cfg.TransientFaults.Judge(p) != Deliver && retries < 1024; retries++ {
 			n.stats.HWRetries++
 		}
+		n.obs.HWRetries(n.stats.HWRetries - before)
 	}
 
 	key := flowKey{p.Src, p.Dst}
@@ -119,6 +139,7 @@ func (n *CRNet) Inject(p Packet) error {
 	n.flowSeq[key]++
 	p.Data = clonePayload(p.Data)
 	n.stats.Injected++
+	n.obs.Injected()
 	n.queues[p.Dst] = append(n.queues[p.Dst], p)
 	return nil
 }
@@ -131,6 +152,7 @@ func (n *CRNet) TryRecv(node int) (Packet, bool) {
 	p := n.queues[node][0]
 	n.queues[node] = n.queues[node][1:]
 	n.stats.Delivered++
+	n.obs.Delivered()
 	return p, true
 }
 

@@ -1,0 +1,142 @@
+package obs
+
+import "strings"
+
+// Axis is the paper's Feature axis an observed event is attributed to.
+// The values mirror cost.Feature (Base, BufferMgmt, InOrder, FaultTol) so
+// runtime timelines line up with the instruction-count tables; AxisOther
+// covers events outside the paper's four features (user-level delivery,
+// control-network traffic, ...).
+type Axis uint8
+
+const (
+	// AxisOther marks events outside the paper's feature taxonomy.
+	AxisOther Axis = iota
+	// AxisBase is the unavoidable cost of data movement and NI access.
+	AxisBase
+	// AxisBufferMgmt is deadlock/overflow safety work.
+	AxisBufferMgmt
+	// AxisInOrder is in-order delivery work.
+	AxisInOrder
+	// AxisFaultTol is reliable-delivery work.
+	AxisFaultTol
+)
+
+// String returns the axis label used in exports ("cat" in Chrome traces,
+// the "axis" label in metrics).
+func (a Axis) String() string {
+	switch a {
+	case AxisBase:
+		return "base"
+	case AxisBufferMgmt:
+		return "buffer_mgmt"
+	case AxisInOrder:
+		return "in_order"
+	case AxisFaultTol:
+		return "fault_tol"
+	default:
+		return "other"
+	}
+}
+
+// eventAxes attributes every named protocol event to a Feature axis,
+// mirroring the instruction-charge attribution at the site that emits the
+// event (see internal/protocols and internal/crmsg). Events not listed
+// fall back to AxisOther.
+var eventAxes = map[string]Axis{
+	// Finite-sequence protocol on CMAM (Figure 3).
+	"finite.start":         AxisBufferMgmt,
+	"finite.allocreq.recv": AxisBufferMgmt,
+	"finite.segment.alloc": AxisBufferMgmt,
+	"finite.reply.sent":    AxisBufferMgmt,
+	"finite.reply.recv":    AxisBufferMgmt,
+	"finite.segment.free":  AxisBufferMgmt,
+	"finite.packet.sent":   AxisBase,
+	"finite.packet.recv":   AxisBase,
+	"finite.backpressure":  AxisBufferMgmt,
+	"finite.ack.sent":      AxisFaultTol,
+	"finite.ack.recv":      AxisFaultTol,
+	"finite.retry.alloc":   AxisFaultTol,
+	"finite.retry.data":    AxisFaultTol,
+	"finite.reack":         AxisFaultTol,
+	"finite.rereply":       AxisFaultTol,
+	"finite.stale.reply":   AxisFaultTol,
+	"finite.stale.ack":     AxisFaultTol,
+
+	// Indefinite-sequence protocol on CMAM (Figure 4).
+	"stream.srcbuffer":    AxisFaultTol,
+	"stream.packet.sent":  AxisBase,
+	"stream.inorder":      AxisInOrder,
+	"stream.outoforder":   AxisInOrder,
+	"stream.drain":        AxisInOrder,
+	"stream.duplicate":    AxisFaultTol,
+	"stream.ack.sent":     AxisFaultTol,
+	"stream.ack.recv":     AxisFaultTol,
+	"stream.nack.sent":    AxisFaultTol,
+	"stream.nack.recv":    AxisFaultTol,
+	"stream.retransmit":   AxisFaultTol,
+	"stream.timeout":      AxisFaultTol,
+	"stream.backpressure": AxisBufferMgmt,
+
+	// CMAM mechanism layer.
+	"cmam.stale.xfer": AxisFaultTol,
+
+	// Finite-sequence protocol on CR (Figure 5).
+	"crfinite.start":        AxisBase,
+	"crfinite.packet.sent":  AxisBase,
+	"crfinite.packet.recv":  AxisBase,
+	"crfinite.header.recv":  AxisBufferMgmt,
+	"crfinite.rejected":     AxisBufferMgmt,
+	"crfinite.backpressure": AxisBufferMgmt,
+	"crfinite.done":         AxisBase,
+	"crfinite.complete":     AxisBase,
+
+	// Indefinite-sequence protocol on CR (Figure 7).
+	"crstream.packet.sent": AxisBase,
+	"crstream.packet.recv": AxisBase,
+
+	// Network substrates (emitted by the obs NetScope, not node code).
+	"net.backpressure": AxisBufferMgmt,
+	"net.rejected":     AxisBufferMgmt,
+	"net.dropped":      AxisFaultTol,
+	"net.corrupt":      AxisFaultTol,
+
+	// Control network.
+	"ctrlnet.combine.done": AxisOther,
+	"ctrlnet.scan.done":    AxisOther,
+}
+
+// AxisForEvent returns the Feature-axis attribution for a named event.
+func AxisForEvent(name string) Axis { return eventAxes[name] }
+
+// ProtoOfEvent derives the protocol/subsystem label from an event name:
+// the segment before the first dot ("finite.packet.sent" -> "finite").
+func ProtoOfEvent(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// spanRule describes a begin/end event pair that the node scope turns into
+// a duration (PhaseComplete) trace event and a transfer-latency histogram
+// sample. Spans are tracked per node; an end without a matching begin is
+// ignored (retransmission/dedup paths re-emit end-like events).
+type spanRule struct {
+	span string // emitted span name
+	end  bool   // true when the event closes the span
+}
+
+// spanRules maps event names to the spans they open or close. The pairs
+// cover one whole transfer as seen from each end, giving the per-transfer
+// step latency the metrics registry records.
+var spanRules = map[string]spanRule{
+	"finite.start":         {span: "finite.xfer.src"},
+	"finite.ack.recv":      {span: "finite.xfer.src", end: true},
+	"finite.allocreq.recv": {span: "finite.xfer.dst"},
+	"finite.ack.sent":      {span: "finite.xfer.dst", end: true},
+	"crfinite.start":       {span: "crfinite.xfer.src"},
+	"crfinite.complete":    {span: "crfinite.xfer.src", end: true},
+	"crfinite.header.recv": {span: "crfinite.xfer.dst"},
+	"crfinite.done":        {span: "crfinite.xfer.dst", end: true},
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// metricHelp documents the known metric names for the Prometheus
+// exposition's HELP lines.
+var metricHelp = map[string]string{
+	"packets_sent_total":      "packets pushed through the CMAM send path",
+	"packets_received_total":  "packets dispatched by the CMAM poll path",
+	"segment_allocs_total":    "communication segments allocated",
+	"segment_frees_total":     "communication segments freed",
+	"segments_open":           "communication segments currently open",
+	"send_queue_depth":        "software send-queue depth (last sample)",
+	"send_queue_depth_hist":   "software send-queue depth distribution",
+	"recv_queue_depth":        "packets buffered in the network toward the node (last sample)",
+	"recv_queue_depth_hist":   "network receive-queue depth distribution",
+	"protocol_events_total":   "named protocol events by node, protocol, and event",
+	"step_latency_rounds":     "rounds between consecutive protocol events of one protocol on one node",
+	"transfer_latency_rounds": "rounds from transfer start to completion",
+	"net_injected_total":      "packets accepted by the network substrate",
+	"net_delivered_total":     "packets popped by receivers",
+	"net_dropped_total":       "packets lost to injected faults",
+	"net_corrupt_total":       "packets delivered with a failed CRC",
+	"net_backpressure_total":  "injections refused for lack of buffering",
+	"net_rejected_total":      "header packets refused by the destination",
+	"net_hw_retries_total":    "transparent hardware retries (CR)",
+	"ctrlnet_combines_total":  "control-network combine rounds completed",
+	"ctrlnet_scans_total":     "control-network scan rounds completed",
+	"ctrlnet_busy_total":      "control-network contributions refused busy",
+	"ctrlnet_cycles_total":    "control-network hardware cycles ticked",
+	"run_rounds_total":        "scheduler rounds executed by observed runs",
+	"run_steps_total":         "stepper invocations executed by observed runs",
+	"run_stalls_total":        "observed runs that exhausted their round budget",
+	"trace_undescribed_total": "protocol events neither described nor deliberately skipped by the figure traces",
+}
+
+// MetricPrefix namespaces every exported series.
+const MetricPrefix = "msglayer_"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	typed := make(map[string]bool)
+	header := func(name, kind string) error {
+		if typed[name] {
+			return nil
+		}
+		typed[name] = true
+		if help := metricHelp[name]; help != "" {
+			if err := write("# HELP %s%s %s\n", MetricPrefix, name, help); err != nil {
+				return err
+			}
+		}
+		return write("# TYPE %s%s %s\n", MetricPrefix, name, kind)
+	}
+
+	for _, k := range sortedKeys(r.counters) {
+		if err := header(k.Name, "counter"); err != nil {
+			return err
+		}
+		if err := write("%s%s %d\n", MetricPrefix, k, r.counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.levels) {
+		if err := header(k.Name, "gauge"); err != nil {
+			return err
+		}
+		if err := write("%s%s %d\n", MetricPrefix, k, r.levels[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.hists) {
+		if err := header(k.Name, "histogram"); err != nil {
+			return err
+		}
+		h := r.hists[k]
+		cum := h.Cumulative()
+		for i, bound := range h.Bounds() {
+			if err := write("%s%s_bucket{%s} %d\n", MetricPrefix, k.Name,
+				appendLabel(k.labelString(), "le", strconv.FormatUint(bound, 10)), cum[i]); err != nil {
+				return err
+			}
+		}
+		if err := write("%s%s_bucket{%s} %d\n", MetricPrefix, k.Name,
+			appendLabel(k.labelString(), "le", "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if err := write("%s%s_sum%s %d\n", MetricPrefix, k.Name, braced(k.labelString()), h.Sum()); err != nil {
+			return err
+		}
+		if err := write("%s%s_count%s %d\n", MetricPrefix, k.Name, braced(k.labelString()), h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendLabel adds one label pair to a rendered label list.
+func appendLabel(labels, name, value string) string {
+	pair := fmt.Sprintf("%s=%q", name, value)
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+// braced wraps a non-empty label list in braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// JSONMetric is one exported metric series.
+type JSONMetric struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Node  *int   `json:"node,omitempty"`
+	Proto string `json:"proto,omitempty"`
+	Event string `json:"event,omitempty"`
+	Value int64  `json:"value,omitempty"`
+	// Histogram detail (kind == "histogram" only).
+	Bounds []uint64 `json:"bounds,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+	Sum    uint64   `json:"sum,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// jsonKey fills the shared key fields.
+func jsonKey(k Key, kind string) JSONMetric {
+	m := JSONMetric{Name: k.Name, Kind: kind, Proto: k.Proto, Event: k.Event}
+	if k.Node >= 0 {
+		node := k.Node
+		m.Node = &node
+	}
+	return m
+}
+
+// MetricsJSON renders the registry as a deterministic JSON document.
+func (r *Registry) MetricsJSON() ([]byte, error) {
+	var out []JSONMetric
+	for _, k := range sortedKeys(r.counters) {
+		m := jsonKey(k, "counter")
+		m.Value = int64(r.counters[k].Value())
+		out = append(out, m)
+	}
+	for _, k := range sortedKeys(r.levels) {
+		m := jsonKey(k, "gauge")
+		m.Value = r.levels[k].Value()
+		out = append(out, m)
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		m := jsonKey(k, "histogram")
+		m.Bounds = h.Bounds()
+		m.Counts = h.Cumulative()
+		m.Sum = h.Sum()
+		m.Count = h.Count()
+		out = append(out, m)
+	}
+	return json.MarshalIndent(struct {
+		Metrics []JSONMetric `json:"metrics"`
+	}{out}, "", "  ")
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU;
+// loadable in chrome://tracing and https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromePID is the synthetic process id the simulator exports under.
+const chromePID = 1
+
+// netTID is the synthetic thread machine- and network-wide events (Node
+// == -1) are filed under, placed after the largest real node id seen.
+func netTID(maxNode int) int { return maxNode + 1 }
+
+// WriteChromeTrace renders the recorded events as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form). Nodes appear as threads of one
+// "msglayer sim" process; machine-wide events land on a trailing "net"
+// thread; every event's category carries its Feature-axis attribution so
+// the timeline can be filtered by the paper's axes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	maxNode := 0
+	for _, e := range t.events {
+		if e.Node > maxNode {
+			maxNode = e.Node
+		}
+	}
+	out := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": "msglayer sim"},
+	}}
+	seenTID := make(map[int]bool)
+	tidOf := func(node int) int {
+		if node < 0 {
+			return netTID(maxNode)
+		}
+		return node
+	}
+	nameTID := func(node int) {
+		tid := tidOf(node)
+		if seenTID[tid] {
+			return
+		}
+		seenTID[tid] = true
+		label := fmt.Sprintf("node %d", node)
+		if node < 0 {
+			label = "machine/net"
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, e := range t.events {
+		nameTID(e.Node)
+		ce := chromeEvent{
+			Name:  e.Name,
+			Cat:   e.Axis.String(),
+			Phase: string(rune(e.Phase)),
+			TS:    e.TS,
+			PID:   chromePID,
+			TID:   tidOf(e.Node),
+			Args:  map[string]any{"round": e.Round, "seq": e.Seq, "proto": e.Proto},
+		}
+		if e.Phase == PhaseInstant {
+			ce.Scope = "t" // thread-scoped instant marker
+		}
+		if e.Phase == PhaseComplete {
+			dur := e.Dur
+			ce.Dur = &dur
+		}
+		out = append(out, ce)
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+	}
+	if d := t.Dropped(); d > 0 {
+		doc.OtherData = map[string]any{"droppedEvents": d}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

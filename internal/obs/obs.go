@@ -1,0 +1,415 @@
+// Package obs is the runtime observability layer of the simulator: a
+// metrics registry (counters, levels, fixed-bucket histograms keyed by
+// node and protocol), a structured event tracer with simulated-time
+// timestamps, and exporters (Prometheus-style text, JSON, and Chrome
+// trace-event JSON loadable in perfetto).
+//
+// Where internal/cost attributes *static instruction charges* to the
+// paper's Feature axes, obs attributes the simulator's *dynamic behavior*
+// — packets sent/received/dropped, backpressure stalls, retries, queue
+// depths, segment allocations, per-transfer step latencies — to the same
+// axes, so runtime timelines line up with the instruction-count tables.
+//
+// The layer is built to cost nothing when unused: instrumented code holds
+// nil scope pointers by default, every scope method nil-checks its
+// receiver, and an attached hub can be disabled atomically. With no hub
+// attached the per-packet path performs no map lookups and no allocations
+// (see the allocation tests).
+//
+// Like the rest of the simulator, an enabled hub is single-threaded by
+// design; only the enable flag is atomic.
+package obs
+
+import "sync/atomic"
+
+// Hub bundles one run's metrics registry and event tracer and hands out
+// the per-node / per-network scopes instrumented layers record through.
+type Hub struct {
+	// Metrics is the run's metric registry.
+	Metrics *Registry
+	// Trace is the run's structured event stream.
+	Trace *Tracer
+
+	enabled atomic.Bool
+	round   uint64
+	nodes   map[int]*NodeScope
+}
+
+// NewHub returns an enabled hub with an empty registry and tracer.
+func NewHub() *Hub {
+	h := &Hub{
+		Metrics: NewRegistry(),
+		Trace:   NewTracer(0),
+		nodes:   make(map[int]*NodeScope),
+	}
+	h.enabled.Store(true)
+	return h
+}
+
+// SetEnabled atomically enables or disables recording. Disabled scopes
+// return immediately from every record call.
+func (h *Hub) SetEnabled(on bool) { h.enabled.Store(on) }
+
+// Enabled reports whether the hub is recording.
+func (h *Hub) Enabled() bool { return h.enabled.Load() }
+
+// Tick advances simulated time by one scheduler round. The observed
+// machine run loop calls it once per round.
+func (h *Hub) Tick() { h.round++ }
+
+// Round returns the current scheduler round.
+func (h *Hub) Round() uint64 { return h.round }
+
+// NodeScope returns the recording scope for a node, memoized so repeated
+// attachment (several machines sharing one hub) reuses series.
+func (h *Hub) NodeScope(node int) *NodeScope {
+	if s, ok := h.nodes[node]; ok {
+		return s
+	}
+	s := &NodeScope{
+		hub:         h,
+		node:        node,
+		packetsSent: h.Metrics.Counter(Key{Name: "packets_sent_total", Node: node, Proto: "cmam"}),
+		packetsRecv: h.Metrics.Counter(Key{Name: "packets_received_total", Node: node, Proto: "cmam"}),
+		segAlloc:    h.Metrics.Counter(Key{Name: "segment_allocs_total", Node: node, Proto: "cmam"}),
+		segFree:     h.Metrics.Counter(Key{Name: "segment_frees_total", Node: node, Proto: "cmam"}),
+		segOpen:     h.Metrics.Level(Key{Name: "segments_open", Node: node, Proto: "cmam"}),
+		sendDepth:   h.Metrics.Level(Key{Name: "send_queue_depth", Node: node}),
+		sendHist:    h.Metrics.Histogram(Key{Name: "send_queue_depth_hist", Node: node}, nil),
+		recvDepth:   h.Metrics.Level(Key{Name: "recv_queue_depth", Node: node}),
+		recvHist:    h.Metrics.Histogram(Key{Name: "recv_queue_depth_hist", Node: node}, nil),
+		events:      make(map[string]*eventEntry),
+		lastRound:   make(map[string]uint64),
+		spans:       make(map[string]spanStart),
+	}
+	h.nodes[node] = s
+	return s
+}
+
+// eventEntry caches everything the hot event path needs for one event
+// name: the per-event counter, the axis/protocol attribution, the step
+// latency histogram for the event's protocol, and the span rule if any.
+type eventEntry struct {
+	counter *Counter
+	axis    Axis
+	proto   string
+	stepLat *Histogram
+	rule    spanRule
+	hasRule bool
+	spanLat *Histogram // transfer latency, end rules only
+}
+
+// spanStart remembers where an open span began.
+type spanStart struct {
+	ts    uint64
+	round uint64
+}
+
+// NodeScope records one node's dynamic behavior. The zero value of the
+// *pointer* (nil) is the disabled state: every method nil-checks its
+// receiver so instrumented code can call unconditionally.
+type NodeScope struct {
+	hub  *Hub
+	node int
+
+	packetsSent, packetsRecv *Counter
+	segAlloc, segFree        *Counter
+	segOpen                  *Level
+	sendDepth, recvDepth     *Level
+	sendHist, recvHist       *Histogram
+
+	events    map[string]*eventEntry
+	lastRound map[string]uint64 // per proto, for step latency
+	spans     map[string]spanStart
+}
+
+// define resolves the cached entry for a new event name (cold path).
+func (s *NodeScope) define(name string) *eventEntry {
+	proto := ProtoOfEvent(name)
+	e := &eventEntry{
+		counter: s.hub.Metrics.Counter(Key{Name: "protocol_events_total", Node: s.node, Proto: proto, Event: name}),
+		axis:    AxisForEvent(name),
+		proto:   proto,
+		stepLat: s.hub.Metrics.Histogram(Key{Name: "step_latency_rounds", Node: s.node, Proto: proto}, nil),
+	}
+	if rule, ok := spanRules[name]; ok {
+		e.rule, e.hasRule = rule, true
+		if rule.end {
+			e.spanLat = s.hub.Metrics.Histogram(Key{Name: "transfer_latency_rounds", Node: s.node, Proto: proto}, nil)
+		}
+	}
+	s.events[name] = e
+	return e
+}
+
+// Event records a named protocol event: it counts the event, samples the
+// protocol's inter-event step latency, appends an instant trace event
+// attributed to the event's Feature axis, and opens/closes transfer spans.
+func (s *NodeScope) Event(name string) {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	e, ok := s.events[name]
+	if !ok {
+		e = s.define(name)
+	}
+	e.counter.Inc()
+	round := s.hub.round
+	if last, seen := s.lastRound[e.proto]; seen {
+		e.stepLat.Observe(round - last)
+	}
+	s.lastRound[e.proto] = round
+	s.hub.Trace.Record(TraceEvent{Round: round, Node: s.node, Name: name, Proto: e.proto, Axis: e.axis})
+	if !e.hasRule {
+		return
+	}
+	if !e.rule.end {
+		s.spans[e.rule.span] = spanStart{ts: s.hub.Trace.Now(), round: round}
+		return
+	}
+	begin, open := s.spans[e.rule.span]
+	if !open {
+		return // dedup/retransmission paths re-emit end events
+	}
+	delete(s.spans, e.rule.span)
+	end := s.hub.Trace.Now()
+	s.hub.Trace.Record(TraceEvent{
+		Phase: PhaseComplete,
+		TS:    begin.ts,
+		Dur:   end - begin.ts,
+		Round: begin.round,
+		Node:  s.node,
+		Name:  e.rule.span,
+		Proto: e.proto,
+		Axis:  e.axis,
+	})
+	e.spanLat.Observe(round - begin.round)
+}
+
+// PacketSent counts one packet pushed through the node's CMAM send path.
+func (s *NodeScope) PacketSent() {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	s.packetsSent.Inc()
+}
+
+// PacketReceived counts one packet dispatched by the node's CMAM poll
+// path.
+func (s *NodeScope) PacketReceived() {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	s.packetsRecv.Inc()
+}
+
+// SegmentAlloc counts one communication-segment allocation.
+func (s *NodeScope) SegmentAlloc() {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	s.segAlloc.Inc()
+	s.segOpen.Add(1)
+}
+
+// SegmentFree counts one communication-segment deallocation.
+func (s *NodeScope) SegmentFree() {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	s.segFree.Inc()
+	s.segOpen.Add(-1)
+}
+
+// SendQueueDepth samples the node's software send-queue depth (packets
+// accepted by a protocol but not yet injected, e.g. under backpressure).
+func (s *NodeScope) SendQueueDepth(depth int) {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	s.sendDepth.Set(int64(depth))
+	s.sendHist.Observe(uint64(depth))
+}
+
+// RecvQueueDepth samples the packets buffered in the network toward the
+// node (the observed machine run loop samples it once per round).
+func (s *NodeScope) RecvQueueDepth(depth int) {
+	if s == nil || !s.hub.enabled.Load() {
+		return
+	}
+	s.recvDepth.Set(int64(depth))
+	s.recvHist.Observe(uint64(depth))
+}
+
+// NetInstrumentable is implemented by network substrates that accept an
+// observability scope (CM5Net, CRNet).
+type NetInstrumentable interface {
+	SetObserver(*NetScope)
+}
+
+// DepthProber is implemented by substrates that expose per-destination
+// buffered-packet counts for queue-depth sampling.
+type DepthProber interface {
+	// QueueDepth returns the packets currently buffered toward a node.
+	QueueDepth(node int) int
+}
+
+// NetScope records one network substrate's dynamic behavior. A nil scope
+// is the disabled state; every method nil-checks its receiver so the
+// substrate's packet path can call unconditionally.
+type NetScope struct {
+	hub  *Hub
+	name string
+
+	injected, delivered *Counter
+	dropped, corrupt    *Counter
+	backpressure        *Counter
+	rejected, hwRetries *Counter
+}
+
+// NetScope returns the recording scope for a named network substrate.
+func (h *Hub) NetScope(name string) *NetScope {
+	k := func(metric string) Key { return Key{Name: metric, Node: -1, Proto: name} }
+	return &NetScope{
+		hub:          h,
+		name:         name,
+		injected:     h.Metrics.Counter(k("net_injected_total")),
+		delivered:    h.Metrics.Counter(k("net_delivered_total")),
+		dropped:      h.Metrics.Counter(k("net_dropped_total")),
+		corrupt:      h.Metrics.Counter(k("net_corrupt_total")),
+		backpressure: h.Metrics.Counter(k("net_backpressure_total")),
+		rejected:     h.Metrics.Counter(k("net_rejected_total")),
+		hwRetries:    h.Metrics.Counter(k("net_hw_retries_total")),
+	}
+}
+
+// on reports whether the scope should record.
+func (s *NetScope) on() bool { return s != nil && s.hub.enabled.Load() }
+
+// anomaly records a counter bump plus an instant trace event attributed
+// to a node — the network-level stalls and losses worth seeing on a
+// timeline.
+func (s *NetScope) anomaly(c *Counter, event string, node int) {
+	c.Inc()
+	s.hub.Trace.Record(TraceEvent{
+		Round: s.hub.round,
+		Node:  node,
+		Name:  event,
+		Proto: s.name,
+		Axis:  AxisForEvent(event),
+	})
+}
+
+// Injected counts one accepted injection.
+func (s *NetScope) Injected() {
+	if !s.on() {
+		return
+	}
+	s.injected.Inc()
+}
+
+// Delivered counts one packet popped by a receiver.
+func (s *NetScope) Delivered() {
+	if !s.on() {
+		return
+	}
+	s.delivered.Inc()
+}
+
+// Backpressure records an injection refused for lack of buffering toward
+// dst.
+func (s *NetScope) Backpressure(dst int) {
+	if !s.on() {
+		return
+	}
+	s.anomaly(s.backpressure, "net.backpressure", dst)
+}
+
+// Dropped records a packet lost to an injected fault on its way to dst.
+func (s *NetScope) Dropped(dst int) {
+	if !s.on() {
+		return
+	}
+	s.anomaly(s.dropped, "net.dropped", dst)
+}
+
+// Corrupt records a delivered packet carrying a failed CRC.
+func (s *NetScope) Corrupt(node int) {
+	if !s.on() {
+		return
+	}
+	s.anomaly(s.corrupt, "net.corrupt", node)
+}
+
+// Rejected records a header packet refused by dst (CR header rejection).
+func (s *NetScope) Rejected(dst int) {
+	if !s.on() {
+		return
+	}
+	s.anomaly(s.rejected, "net.rejected", dst)
+}
+
+// HWRetries counts transparent hardware retries (CRNet).
+func (s *NetScope) HWRetries(n uint64) {
+	if !s.on() {
+		return
+	}
+	s.hwRetries.Add(n)
+}
+
+// CtrlScope records control-network (combining tree) activity. A nil
+// scope is the disabled state.
+type CtrlScope struct {
+	hub                *Hub
+	combines, scans    *Counter
+	busy, cyclesTicked *Counter
+}
+
+// CtrlScope returns the recording scope for the control network.
+func (h *Hub) CtrlScope() *CtrlScope {
+	k := func(metric string) Key { return Key{Name: metric, Node: -1, Proto: "ctrlnet"} }
+	return &CtrlScope{
+		hub:          h,
+		combines:     h.Metrics.Counter(k("ctrlnet_combines_total")),
+		scans:        h.Metrics.Counter(k("ctrlnet_scans_total")),
+		busy:         h.Metrics.Counter(k("ctrlnet_busy_total")),
+		cyclesTicked: h.Metrics.Counter(k("ctrlnet_cycles_total")),
+	}
+}
+
+func (s *CtrlScope) on() bool { return s != nil && s.hub.enabled.Load() }
+
+// CombineDone records a completed combine (reduction/barrier/broadcast)
+// round.
+func (s *CtrlScope) CombineDone() {
+	if !s.on() {
+		return
+	}
+	s.combines.Inc()
+	s.hub.Trace.Record(TraceEvent{Round: s.hub.round, Node: -1, Name: "ctrlnet.combine.done", Proto: "ctrlnet"})
+}
+
+// ScanDone records a completed parallel-prefix round.
+func (s *CtrlScope) ScanDone() {
+	if !s.on() {
+		return
+	}
+	s.scans.Inc()
+	s.hub.Trace.Record(TraceEvent{Round: s.hub.round, Node: -1, Name: "ctrlnet.scan.done", Proto: "ctrlnet"})
+}
+
+// Busy counts contributions refused because the tree was occupied.
+func (s *CtrlScope) Busy() {
+	if !s.on() {
+		return
+	}
+	s.busy.Inc()
+}
+
+// Ticks counts hardware cycles advanced.
+func (s *CtrlScope) Ticks(n int) {
+	if !s.on() {
+		return
+	}
+	s.cyclesTicked.Add(uint64(n))
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestObsCounterAndLevel(t *testing.T) {
+	r := NewRegistry()
+	k := Key{Name: "packets_sent_total", Node: 0, Proto: "cmam"}
+	c := r.Counter(k)
+	c.Inc()
+	c.Add(2)
+	if got := r.CounterValue(k); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter(k) != c {
+		t.Fatal("counter pointer not stable across lookups")
+	}
+	l := r.Level(Key{Name: "segments_open", Node: 0})
+	l.Add(2)
+	l.Add(-1)
+	if l.Value() != 1 {
+		t.Fatalf("level = %d, want 1", l.Value())
+	}
+	l.Set(7)
+	if l.Value() != 7 {
+		t.Fatalf("level = %d, want 7", l.Value())
+	}
+}
+
+func TestObsHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{1, 4, 16})
+	for _, v := range []uint64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	// 0,1 <= 1; 2 <= 4; 5 <= 16; 100 -> +Inf.
+	want := []uint64{2, 3, 4, 5}
+	got := h.Cumulative()
+	if len(got) != len(want) {
+		t.Fatalf("cumulative has %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 108 {
+		t.Fatalf("count/sum = %d/%d, want 5/108", h.Count(), h.Sum())
+	}
+}
+
+func TestObsKeyString(t *testing.T) {
+	k := Key{Name: "protocol_events_total", Node: 1, Proto: "finite", Event: "finite.start"}
+	want := `protocol_events_total{node="1",proto="finite",event="finite.start"}`
+	if k.String() != want {
+		t.Fatalf("key = %s, want %s", k, want)
+	}
+	bare := Key{Name: "run_rounds_total", Node: -1}
+	if bare.String() != "run_rounds_total" {
+		t.Fatalf("bare key = %s", bare)
+	}
+}
+
+func TestObsTracerMonotonicTimestamps(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(TraceEvent{Round: 0, Node: 0, Name: "a"})
+	tr.Record(TraceEvent{Round: 0, Node: 0, Name: "b"})
+	tr.Record(TraceEvent{Round: 3, Node: 1, Name: "c"})
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(ev))
+	}
+	if ev[0].TS != 0 || ev[1].TS != 1 || ev[2].TS != 3*RoundUnits {
+		t.Fatalf("timestamps %d,%d,%d not monotonic round-scaled", ev[0].TS, ev[1].TS, ev[2].TS)
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Phase != PhaseInstant {
+			t.Fatalf("event %d phase %c, want instant", i, e.Phase)
+		}
+	}
+}
+
+func TestObsTracerLimit(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(TraceEvent{Round: uint64(i), Name: "x"})
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len/dropped = %d/%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestObsNodeScopeSpans(t *testing.T) {
+	h := NewHub()
+	s := h.NodeScope(0)
+	s.Event("finite.start")
+	h.Tick()
+	h.Tick()
+	s.Event("finite.ack.recv")
+	var span *TraceEvent
+	for i := range h.Trace.Events() {
+		if h.Trace.Events()[i].Phase == PhaseComplete {
+			span = &h.Trace.Events()[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("no PhaseComplete span recorded")
+	}
+	if span.Name != "finite.xfer.src" {
+		t.Fatalf("span name %q", span.Name)
+	}
+	if span.Dur == 0 {
+		t.Fatal("span has zero duration")
+	}
+	lat := h.Metrics.hists[Key{Name: "transfer_latency_rounds", Node: 0, Proto: "finite"}]
+	if lat == nil || lat.Count() != 1 || lat.Sum() != 2 {
+		t.Fatalf("transfer latency histogram = %+v, want one 2-round sample", lat)
+	}
+	// A second end without a begin is ignored.
+	s.Event("finite.ack.recv")
+	if lat.Count() != 1 {
+		t.Fatal("unmatched span end produced a latency sample")
+	}
+}
+
+func TestObsNilAndDisabledScopes(t *testing.T) {
+	var s *NodeScope
+	s.Event("finite.start") // must not panic
+	s.PacketSent()
+	s.SendQueueDepth(3)
+	var ns *NetScope
+	ns.Injected()
+	ns.Backpressure(1)
+	var cs *CtrlScope
+	cs.CombineDone()
+	cs.Ticks(4)
+
+	h := NewHub()
+	h.SetEnabled(false)
+	sc := h.NodeScope(0)
+	sc.Event("finite.start")
+	sc.PacketSent()
+	if h.Trace.Len() != 0 {
+		t.Fatal("disabled hub recorded trace events")
+	}
+	if got := h.Metrics.CounterValue(Key{Name: "packets_sent_total", Node: 0, Proto: "cmam"}); got != 0 {
+		t.Fatalf("disabled hub counted %d packets", got)
+	}
+}
+
+func TestObsEventAxesCoverSpanRules(t *testing.T) {
+	for name := range spanRules {
+		if _, ok := eventAxes[name]; !ok {
+			t.Errorf("span rule event %q has no axis attribution", name)
+		}
+	}
+	if AxisForEvent("finite.ack.sent") != AxisFaultTol {
+		t.Fatal("finite.ack.sent not attributed to fault tolerance")
+	}
+	if AxisForEvent("nonsense") != AxisOther {
+		t.Fatal("unknown event not AxisOther")
+	}
+	if ProtoOfEvent("stream.ack.recv") != "stream" {
+		t.Fatal("proto derivation broken")
+	}
+}
+
+func TestObsPrometheusExport(t *testing.T) {
+	h := NewHub()
+	s := h.NodeScope(1)
+	s.PacketSent()
+	s.PacketSent()
+	s.Event("finite.start")
+	h.Metrics.Histogram(Key{Name: "transfer_latency_rounds", Node: 1, Proto: "finite"}, nil).Observe(5)
+
+	var b bytes.Buffer
+	if err := h.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE msglayer_packets_sent_total counter",
+		`msglayer_packets_sent_total{node="1",proto="cmam"} 2`,
+		`msglayer_protocol_events_total{node="1",proto="finite",event="finite.start"} 1`,
+		`msglayer_transfer_latency_rounds_bucket{node="1",proto="finite",le="8"} 1`,
+		`msglayer_transfer_latency_rounds_bucket{node="1",proto="finite",le="+Inf"} 1`,
+		`msglayer_transfer_latency_rounds_sum{node="1",proto="finite"} 5`,
+		`msglayer_transfer_latency_rounds_count{node="1",proto="finite"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 bytes.Buffer
+	if err := h.Metrics.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("prometheus export not deterministic")
+	}
+}
+
+func TestObsMetricsJSONValid(t *testing.T) {
+	h := NewHub()
+	s := h.NodeScope(0)
+	s.PacketSent()
+	s.SendQueueDepth(2)
+	data, err := h.Metrics.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []JSONMetric `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("metrics JSON empty")
+	}
+	found := false
+	for _, m := range doc.Metrics {
+		if m.Name == "packets_sent_total" && m.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("packets_sent_total missing from %s", data)
+	}
+}
+
+func TestObsChromeTraceValid(t *testing.T) {
+	h := NewHub()
+	s := h.NodeScope(0)
+	s.Event("finite.start")
+	h.Tick()
+	s.Event("finite.ack.recv")
+	h.NetScope("cm5").Backpressure(1)
+
+	var b bytes.Buffer
+	if err := h.Trace.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    *uint64        `json:"ts"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	var phases []string
+	cats := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		phases = append(phases, e.Phase)
+		cats[e.Cat] = true
+		if e.Phase != "M" && e.TS == nil {
+			t.Fatalf("event %s missing ts", e.Name)
+		}
+	}
+	for _, want := range []string{"M", "i", "X"} {
+		ok := false
+		for _, p := range phases {
+			if p == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("no %q-phase event in trace", want)
+		}
+	}
+	if !cats["buffer_mgmt"] || !cats["fault_tol"] {
+		t.Errorf("feature-axis categories missing: %v", cats)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+// Phase classifies a trace event, following the Chrome trace-event
+// phase vocabulary.
+type Phase byte
+
+const (
+	// PhaseInstant is a point event ("i").
+	PhaseInstant Phase = 'i'
+	// PhaseComplete is a duration event with an explicit length ("X").
+	PhaseComplete Phase = 'X'
+)
+
+// TraceEvent is one structured event recorded by the tracer. Timestamps
+// are in simulated time: TS counts tracer time units, where one scheduler
+// round of an observed machine run spans RoundUnits units and events
+// within a round occupy consecutive units in emission order.
+type TraceEvent struct {
+	// TS is the simulated-time timestamp, strictly monotonic across the
+	// recorded stream.
+	TS uint64
+	// Round is the scheduler round the event occurred in.
+	Round uint64
+	// Seq is the event's position in emission order, from 1.
+	Seq uint64
+	// Node is the emitting node; -1 for machine- or network-wide events.
+	Node int
+	// Name is the event name ("finite.packet.sent", "net.backpressure").
+	Name string
+	// Proto is the protocol/subsystem the event belongs to.
+	Proto string
+	// Axis is the paper Feature axis the event is attributed to.
+	Axis Axis
+	// Dur is the event length in time units (PhaseComplete only).
+	Dur uint64
+	// Phase distinguishes instant events from spans.
+	Phase Phase
+}
+
+// RoundUnits is the width of one scheduler round in tracer time units.
+// Exported traces use one unit = one microsecond, so a round reads as
+// 100 µs on a Chrome/perfetto timeline.
+const RoundUnits = 100
+
+// DefaultTraceLimit is the default cap on retained trace events.
+const DefaultTraceLimit = 1 << 20
+
+// Tracer records structured events with simulated-time timestamps. It
+// generalizes internal/trace (which reconstructs the paper's four figure
+// diagrams) to arbitrary runs: every named protocol event, with node,
+// protocol, and Feature-axis attribution, in a form exportable to the
+// Chrome trace-event format.
+//
+// Like the rest of the simulator the tracer is single-threaded by design.
+type Tracer struct {
+	events []TraceEvent
+	total  uint64 // events ever offered, including dropped
+	lastTS uint64
+	limit  int
+}
+
+// NewTracer returns an empty tracer. limit bounds the number of retained
+// events (0 = DefaultTraceLimit); once full, further events are counted
+// but dropped so long runs cannot exhaust memory.
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Record appends an event, assigning its sequence number and a strictly
+// monotonic timestamp derived from the round: the first event of round r
+// lands at r*RoundUnits, later events in the same round at consecutive
+// units. Dur-carrying (PhaseComplete) events keep the caller's TS/Dur.
+func (t *Tracer) Record(e TraceEvent) {
+	t.total++
+	if len(t.events) >= t.limit {
+		return
+	}
+	e.Seq = t.total
+	if e.Phase == 0 {
+		e.Phase = PhaseInstant
+	}
+	if e.Phase != PhaseComplete {
+		ts := e.Round * RoundUnits
+		if ts <= t.lastTS && t.total > 1 {
+			ts = t.lastTS + 1
+		}
+		e.TS = ts
+		t.lastTS = ts
+	} else if e.TS+e.Dur > t.lastTS {
+		t.lastTS = e.TS + e.Dur
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// tracer's own storage; callers must not mutate it.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Dropped returns how many events were discarded after the tracer filled.
+func (t *Tracer) Dropped() uint64 { return t.total - uint64(len(t.events)) }
+
+// Now returns the last assigned timestamp — the tracer's current position
+// in simulated time.
+func (t *Tracer) Now() uint64 { return t.lastTS }
+
+// Reset clears the recorded stream, keeping the configured limit.
+func (t *Tracer) Reset() {
+	t.events = nil
+	t.total = 0
+	t.lastTS = 0
+}

@@ -190,6 +190,7 @@ func (c *Conn) flush() error {
 		if errors.Is(err, network.ErrBackpressure) {
 			node.Charge(cost.Base, retryProbe)
 			node.Event("stream.backpressure")
+			node.Obs.SendQueueDepth(len(c.sendq))
 			return nil
 		}
 		if err != nil {
@@ -198,6 +199,7 @@ func (c *Conn) flush() error {
 		node.Event("stream.packet.sent")
 		c.sendq = c.sendq[1:]
 	}
+	node.Obs.SendQueueDepth(0)
 	return nil
 }
 

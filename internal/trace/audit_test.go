@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"testing"
+
+	"msglayer/internal/obs"
+)
+
+// TestObsTraceEventAudit runs the four figure scenarios and asserts every
+// emitted protocol event is either captioned in descriptions or listed in
+// DeliberatelySkipped — no event is silently lost — and that the obs hook
+// sees exactly the undescribed ones (none, for a healthy event map).
+func TestObsTraceEventAudit(t *testing.T) {
+	hub := obs.NewHub()
+	SetObserver(hub)
+	defer SetObserver(nil)
+
+	traces := map[string]func() (Trace, error){
+		"figure3": func() (Trace, error) { return Figure3(16) },
+		"figure4": func() (Trace, error) { return Figure4(4) },
+		"figure5": func() (Trace, error) { return Figure5(16) },
+		"figure7": func() (Trace, error) { return Figure7(4) },
+	}
+	for name, run := range traces {
+		tr, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for event, n := range tr.Undescribed {
+			t.Errorf("%s emitted %q %d times: neither described nor deliberately skipped", name, event, n)
+		}
+	}
+
+	// The obs counter mirrors the per-trace audit: healthy maps count zero.
+	total := uint64(0)
+	for event := range DeliberatelySkipped {
+		total += hub.Metrics.CounterValue(obs.Key{
+			Name: "trace_undescribed_total", Node: -1, Proto: "trace", Event: event,
+		})
+	}
+	if total != 0 {
+		t.Fatalf("deliberately skipped events were counted as undescribed (%d)", total)
+	}
+}
+
+// TestObsTraceUndescribedCounted verifies the plumbing: an event name
+// outside both maps is counted per trace and through the obs hub.
+func TestObsTraceUndescribedCounted(t *testing.T) {
+	hub := obs.NewHub()
+	SetObserver(hub)
+	defer SetObserver(nil)
+
+	// Temporarily un-describe a quiet event to simulate a map gap.
+	const victim = "crfinite.complete"
+	if descriptions[victim] != "" {
+		t.Fatalf("%s unexpectedly described", victim)
+	}
+	if !DeliberatelySkipped[victim] {
+		t.Fatalf("%s should start deliberately skipped", victim)
+	}
+	delete(DeliberatelySkipped, victim)
+	defer func() { DeliberatelySkipped[victim] = true }()
+
+	tr, err := Figure5(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Undescribed[victim] == 0 {
+		t.Fatalf("%s not counted in Trace.Undescribed: %v", victim, tr.Undescribed)
+	}
+	got := hub.Metrics.CounterValue(obs.Key{
+		Name: "trace_undescribed_total", Node: -1, Proto: "trace", Event: victim,
+	})
+	if got == 0 {
+		t.Fatal("undescribed event not counted through the obs hub")
+	}
+}
+
+// TestObsTraceSkippedNamesAreKnown guards the maps against typos: every
+// deliberately skipped name must be a real event the protocols can emit
+// (attributed in the obs axis map), and no name may be in both maps.
+func TestObsTraceSkippedNamesAreKnown(t *testing.T) {
+	for name := range DeliberatelySkipped {
+		if descriptions[name] != "" {
+			t.Errorf("%q is both described and deliberately skipped", name)
+		}
+		if obs.ProtoOfEvent(name) == name {
+			t.Errorf("%q does not look like a protocol event name", name)
+		}
+	}
+}

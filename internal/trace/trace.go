@@ -14,6 +14,7 @@ import (
 	"msglayer/internal/crmsg"
 	"msglayer/internal/machine"
 	"msglayer/internal/network"
+	"msglayer/internal/obs"
 	"msglayer/internal/protocols"
 )
 
@@ -29,6 +30,10 @@ type Event struct {
 type Trace struct {
 	Title  string
 	Events []Event
+	// Undescribed counts emitted events that are neither captioned in
+	// descriptions nor listed in DeliberatelySkipped — events the figure
+	// silently lost. A healthy trace has none.
+	Undescribed map[string]int
 }
 
 // String renders the trace as an indented step list: source events on the
@@ -80,9 +85,45 @@ var descriptions = map[string]string{
 	"crstream.packet.recv": "2. deliver packet (order and delivery in hardware)",
 }
 
+// DeliberatelySkipped lists event names the figures intentionally omit:
+// contention and fault recovery paths (retries, backpressure, duplicate
+// suppression) that the paper's diagrams draw as the fault-free flow, plus
+// observability-only markers. An emitted event in neither this set nor
+// descriptions counts as undescribed — the audit test fails on it.
+var DeliberatelySkipped = map[string]bool{
+	"finite.backpressure": true,
+	"finite.retry.alloc":  true,
+	"finite.retry.data":   true,
+	"finite.reack":        true,
+	"finite.rereply":      true,
+	"finite.stale.reply":  true,
+	"finite.stale.ack":    true,
+
+	"stream.backpressure": true,
+	"stream.timeout":      true,
+	"stream.retransmit":   true,
+	"stream.duplicate":    true,
+	"stream.nack.sent":    true,
+	"stream.nack.recv":    true,
+
+	"cmam.stale.xfer": true,
+
+	"crfinite.backpressure": true,
+	"crfinite.complete":     true, // observability span marker, not a protocol step
+}
+
+// observer, when set, receives a trace_undescribed_total counter bump for
+// every undescribed event any figure run emits.
+var observer *obs.Hub
+
+// SetObserver installs (or clears, with nil) the hub figure runs report
+// undescribed events to.
+func SetObserver(h *obs.Hub) { observer = h }
+
 // recorder wires event listeners on both nodes of a machine.
 type recorder struct {
-	events []Event
+	events      []Event
+	undescribed map[string]int
 }
 
 func (r *recorder) attach(m *machine.Machine) {
@@ -91,6 +132,17 @@ func (r *recorder) attach(m *machine.Machine) {
 		node.EventListener = func(name string) {
 			desc, ok := descriptions[name]
 			if !ok {
+				if !DeliberatelySkipped[name] {
+					if r.undescribed == nil {
+						r.undescribed = make(map[string]int)
+					}
+					r.undescribed[name]++
+					if observer != nil {
+						observer.Metrics.Counter(obs.Key{
+							Name: "trace_undescribed_total", Node: -1, Proto: "trace", Event: name,
+						}).Inc()
+					}
+				}
 				return
 			}
 			r.events = append(r.events, Event{
@@ -147,8 +199,9 @@ func Figure3(words int) (Trace, error) {
 		return Trace{}, err
 	}
 	return Trace{
-		Title:  fmt.Sprintf("Figure 3: finite sequence, multi-packet protocol (CMAM), %d words", words),
-		Events: rec.events,
+		Title:       fmt.Sprintf("Figure 3: finite sequence, multi-packet protocol (CMAM), %d words", words),
+		Events:      rec.events,
+		Undescribed: rec.undescribed,
 	}, nil
 }
 
@@ -174,8 +227,9 @@ func Figure4(packets int) (Trace, error) {
 		return Trace{}, err
 	}
 	return Trace{
-		Title:  fmt.Sprintf("Figure 4: indefinite sequence, multi-packet protocol (CMAM), %d packets", packets),
-		Events: rec.events,
+		Title:       fmt.Sprintf("Figure 4: indefinite sequence, multi-packet protocol (CMAM), %d packets", packets),
+		Events:      rec.events,
+		Undescribed: rec.undescribed,
 	}, nil
 }
 
@@ -207,8 +261,9 @@ func Figure5(words int) (Trace, error) {
 		return Trace{}, err
 	}
 	return Trace{
-		Title:  fmt.Sprintf("Figure 5: finite sequence protocol with high-level network features (CR), %d words", words),
-		Events: rec.events,
+		Title:       fmt.Sprintf("Figure 5: finite sequence protocol with high-level network features (CR), %d words", words),
+		Events:      rec.events,
+		Undescribed: rec.undescribed,
 	}, nil
 }
 
@@ -236,7 +291,8 @@ func Figure7(packets int) (Trace, error) {
 		return Trace{}, err
 	}
 	return Trace{
-		Title:  fmt.Sprintf("Figure 7: indefinite sequence protocol with high-level network features (CR), %d packets", packets),
-		Events: rec.events,
+		Title:       fmt.Sprintf("Figure 7: indefinite sequence protocol with high-level network features (CR), %d packets", packets),
+		Events:      rec.events,
+		Undescribed: rec.undescribed,
 	}, nil
 }

@@ -18,6 +18,13 @@
 //   - The analytic cost model generalizing the measurements over packet
 //     size and count (the paper's Figure 8), and experiment drivers that
 //     regenerate every table and figure.
+//   - A runtime observability layer: a metrics registry (counters, gauges,
+//     fixed-bucket histograms keyed by node and protocol), a structured
+//     event tracer with simulated-time timestamps, and exporters to
+//     Prometheus text, JSON, and the Chrome trace-event format with every
+//     event attributed to the paper's Feature axes. Attach it with
+//     Machine.AttachObserver; it is nil-safe and costs nothing when
+//     detached.
 //
 // Quick start:
 //
@@ -43,6 +50,7 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/machine"
 	"msglayer/internal/network"
+	"msglayer/internal/obs"
 	"msglayer/internal/protocols"
 	"msglayer/internal/report"
 	"msglayer/internal/reqreply"
@@ -401,6 +409,44 @@ func NewDualCM5Machine(opts CM5Options) (*Machine, error) {
 	}
 	return machine.NewDual(req, rep, sched)
 }
+
+// Runtime observability, re-exported. Build a hub, attach it to a machine
+// with Machine.AttachObserver, drive the run with Machine.Run (the method,
+// which ticks the hub's simulated clock), then export what it saw.
+type (
+	// ObsHub bundles a metrics registry and an event tracer.
+	ObsHub = obs.Hub
+	// ObsKey identifies one metric series (name + node/proto/event labels).
+	ObsKey = obs.Key
+	// ObsRegistry holds metric series; export with WritePrometheus or
+	// MetricsJSON.
+	ObsRegistry = obs.Registry
+	// ObsCounter is a monotonically increasing series.
+	ObsCounter = obs.Counter
+	// ObsLevel is a gauge-style series (named Level to avoid colliding with
+	// the instruction-count Gauge).
+	ObsLevel = obs.Level
+	// ObsHistogram is a fixed-bucket histogram series.
+	ObsHistogram = obs.Histogram
+	// ObsTracer records structured events; export with WriteChromeTrace.
+	ObsTracer = obs.Tracer
+	// ObsTraceEvent is one recorded event with simulated-time timestamps.
+	ObsTraceEvent = obs.TraceEvent
+	// ObsAxis is the paper Feature axis an event is attributed to.
+	ObsAxis = obs.Axis
+)
+
+// Feature-axis values for trace-event attribution.
+const (
+	ObsAxisOther      = obs.AxisOther
+	ObsAxisBase       = obs.AxisBase
+	ObsAxisBufferMgmt = obs.AxisBufferMgmt
+	ObsAxisInOrder    = obs.AxisInOrder
+	ObsAxisFaultTol   = obs.AxisFaultTol
+)
+
+// NewObsHub builds an enabled observability hub.
+func NewObsHub() *ObsHub { return obs.NewHub() }
 
 // Analytic cost model (Figure 8), re-exported.
 type (

@@ -1,0 +1,132 @@
+// Command benchgate records and gates performance snapshots: the
+// BENCH_PR<k>.json trajectory every PR is judged against.
+//
+// Record mode runs the canonical scenarios (single-packet, finite and
+// indefinite CM-5/CR transfers, one flit-level netload sweep point) N times
+// and writes a schema-versioned snapshot of the deterministic simulation
+// metrics (instruction costs per role × feature × category, rounds, packet
+// counts, flit stats) and the host metrics (wall clock, allocations).
+//
+// Compare mode gates a new snapshot against an old one: sim metrics must
+// match exactly (any instruction-count drift fails), host metrics may
+// regress up to a threshold unless the change is statistically
+// insignificant (Welch's t-test). Exit status 0 means the gate passed,
+// 1 means it failed or errored, 2 means bad usage.
+//
+// Usage:
+//
+//	benchgate -record BENCH_PR2.json -label PR2        # write a snapshot
+//	benchgate -record out.json -n 10 -words 128        # heavier recording
+//	benchgate -compare BENCH_PR2.json fresh.json       # full gate
+//	benchgate -compare -sim-only old.json new.json     # CI: exact sim gate only
+//	benchgate -compare -threshold 0.2 -alpha 0.01 old.json new.json
+//
+// Flags must precede the snapshot paths (standard library flag parsing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"msglayer/internal/perfreg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	record := fs.String("record", "", "record a snapshot to this path")
+	label := fs.String("label", "", "label stored in the recorded snapshot")
+	n := fs.Int("n", 5, "timed repetitions per scenario when recording")
+	words := fs.Int("words", 64, "protocol transfer size in words when recording")
+	netloadCycles := fs.Int("netload-cycles", 1000, "flit-level measurement cycles when recording")
+	compare := fs.Bool("compare", false, "compare two snapshots: benchgate -compare old.json new.json")
+	threshold := fs.Float64("threshold", 0.10, "fractional host-metric regression that fails the gate")
+	alpha := fs.Float64("alpha", 0.05, "significance level a host regression must reach to fail")
+	simOnly := fs.Bool("sim-only", false, "gate only the deterministic sim metrics (CI mode)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "benchgate: record and gate performance snapshots")
+		fmt.Fprintln(stderr, "  benchgate -record out.json [-label L] [-n 5] [-words 64] [-netload-cycles 1000]")
+		fmt.Fprintln(stderr, "  benchgate -compare [-threshold 0.10] [-alpha 0.05] [-sim-only] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *record != "" && *compare:
+		fmt.Fprintln(stderr, "benchgate: -record and -compare are mutually exclusive")
+		return 2
+	case *record != "":
+		return doRecord(*record, *label, *n, *words, *netloadCycles, stdout, stderr)
+	case *compare:
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchgate: -compare wants exactly two snapshot paths, got", fs.NArg())
+			return 2
+		}
+		return doCompare(fs.Arg(0), fs.Arg(1), perfreg.CompareOptions{
+			HostThreshold: *threshold,
+			Alpha:         *alpha,
+			SimOnly:       *simOnly,
+		}, stdout, stderr)
+	}
+	fs.Usage()
+	return 2
+}
+
+// doRecord runs the harness and writes the snapshot.
+func doRecord(path, label string, n, words, netloadCycles int, stdout, stderr io.Writer) int {
+	start := time.Now()
+	snap, err := perfreg.Record(perfreg.RecordConfig{
+		Label:         label,
+		Reps:          n,
+		Words:         words,
+		NetloadCycles: netloadCycles,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+	if err := snap.WriteFile(path); err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: recorded %d scenarios x %d reps to %s in %v\n",
+		len(snap.Scenarios), snap.Reps, path, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// doCompare gates new against old and prints the verdict table.
+func doCompare(oldPath, newPath string, opt perfreg.CompareOptions, stdout, stderr io.Writer) int {
+	oldSnap, err := perfreg.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+	newSnap, err := perfreg.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+	rep, err := perfreg.Compare(oldSnap, newSnap, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: %q (%s) vs %q (%s)\n",
+		oldSnap.Label, oldPath, newSnap.Label, newPath)
+	fmt.Fprint(stdout, rep.String())
+	if !rep.Pass {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msglayer/internal/perfreg"
+)
+
+// record runs the tool in record mode with tiny parameters.
+func record(t *testing.T, path string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := []string{"-record", path, "-label", "t", "-n", "2", "-words", "16", "-netload-cycles", "100"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("benchgate %v exited %d: %s", args, code, stderr.String())
+	}
+}
+
+func TestBenchgateIdenticalSeedSnapshotsPass(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	// Two independent recordings of the same seeds and sizes.
+	record(t, a)
+	record(t, b)
+
+	var stdout, stderr bytes.Buffer
+	// Sim metrics must be identical across recordings; host timing is
+	// noisy, so the determinism claim is gated sim-only.
+	code := run([]string{"-compare", "-sim-only", a, b}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("identical-seed compare exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "verdict: PASS") {
+		t.Fatalf("no PASS verdict:\n%s", out)
+	}
+	if strings.Contains(out, "DRIFT") {
+		t.Fatalf("identical-seed snapshots drifted:\n%s", out)
+	}
+}
+
+func TestBenchgateInjectedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	record(t, a)
+
+	snap, err := perfreg.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a +20% instruction-cost regression into every scenario's
+	// totals.
+	for i := range snap.Scenarios {
+		for k, v := range snap.Scenarios[i].Sim {
+			if strings.HasSuffix(k, "/total") || strings.HasSuffix(k, "flit_moves") {
+				snap.Scenarios[i].Sim[k] = v * 12 / 10
+			}
+		}
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := snap.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-compare", "-sim-only", a, bad}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("+20%% regression passed the gate:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "verdict: FAIL") {
+		t.Fatalf("no FAIL verdict:\n%s", stdout.String())
+	}
+}
+
+func TestBenchgateUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-compare", "only-one.json"},
+		{"-record", "x.json", "-compare"},
+		{"-bogus"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("benchgate %v exited %d, want 2", args, code)
+		}
+	}
+	// Missing snapshot files are runtime errors, not usage errors.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", "/nonexistent/a.json", "/nonexistent/b.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing files exited %d, want 1", code)
+	}
+}

@@ -11,17 +11,22 @@
 //	msgbench -json            # machine-readable result summary on stdout
 //	msgbench -metrics m.txt   # dump runtime metrics ("-" = stdout)
 //	msgbench -trace-out t.json  # dump a Chrome trace of the runs
+//	msgbench -serve :8080     # live /metrics, /snapshot, /trace, /debug/pprof/
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/serve"
 )
 
 func main() {
@@ -61,36 +66,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "print a machine-readable JSON summary instead of text")
 	metrics := fs.String("metrics", "", "dump runtime metrics to a file after the runs (\"-\" = stdout)")
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON of the runs (\"-\" = stdout)")
+	serveAddr := fs.String("serve", "",
+		"serve live observability on this address (/metrics, /snapshot, /trace, /debug/pprof/) and keep serving after the runs until interrupted")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	var hub *obs.Hub
-	if *metrics != "" || *traceOut != "" {
+	if *metrics != "" || *traceOut != "" || *serveAddr != "" {
 		hub = obs.NewHub()
 		experiments.SetObserver(hub)
 		defer experiments.SetObserver(nil)
 	}
+	ctx := context.Background()
+	var srv *serve.Server
+	if *serveAddr != "" {
+		srv = serve.New(hub)
+		if err := srv.Start(*serveAddr); err != nil {
+			fmt.Fprintln(stderr, "msgbench:", err)
+			return 1
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = signal.NotifyContext(ctx, os.Interrupt)
+		defer cancel()
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(stderr, "msgbench: shutdown:", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "msgbench: observability on http://%s (SIGINT to stop)\n", srv.Addr())
+	}
 
 	var results []experiments.Result
 	var err error
-	switch {
-	case *table == 1:
-		results, err = one(experiments.Table1)
-	case *table == 2:
-		results, err = one(experiments.Table2)
-	case *table == 3:
-		results, err = one(experiments.Table3)
-	case *figure == 6:
-		results, err = one(experiments.Figure6)
-	case *figure == 8:
-		results, err = one(experiments.Figure8)
-	case *table != 0 || *figure != 0:
-		err = fmt.Errorf("no such table/figure (tables 1-3, figures 6 and 8)")
-	case *ablations:
-		results, err = experiments.Ablations()
-	default:
-		results, err = experiments.All()
+	// The experiments mutate the hub through the global observer, so with
+	// -serve they run under the server's lock, serialized vs the handlers.
+	runAll := func() {
+		switch {
+		case *table == 1:
+			results, err = one(experiments.Table1)
+		case *table == 2:
+			results, err = one(experiments.Table2)
+		case *table == 3:
+			results, err = one(experiments.Table3)
+		case *figure == 6:
+			results, err = one(experiments.Figure6)
+		case *figure == 8:
+			results, err = one(experiments.Figure8)
+		case *table != 0 || *figure != 0:
+			err = fmt.Errorf("no such table/figure (tables 1-3, figures 6 and 8)")
+		case *ablations:
+			results, err = experiments.Ablations()
+		default:
+			results, err = experiments.All()
+		}
+	}
+	if srv != nil {
+		srv.Sync(runAll)
+	} else {
+		runAll()
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "msgbench:", err)
@@ -157,6 +193,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if srv != nil && ctx.Err() == nil {
+		// Keep the recorded run inspectable until the user interrupts.
+		fmt.Fprintln(stderr, "msgbench: runs done, still serving (SIGINT to stop)")
+		<-ctx.Done()
+	}
 	if mismatches > 0 {
 		fmt.Fprintf(stderr, "msgbench: %d comparisons diverged from the paper\n", mismatches)
 		return 1
@@ -164,17 +205,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// writeTo renders into a file, or stdout for "-".
+// writeTo renders into a file, or stdout for "-". A failed render or close
+// removes the file rather than leaving a truncated dump behind.
 func writeTo(dest string, stdout io.Writer, render func(io.Writer) error) error {
 	if dest == "-" {
 		return render(stdout)
 	}
 	f, err := os.Create(dest)
 	if err != nil {
-		return err
+		return fmt.Errorf("writing %s: %w", dest, err)
 	}
-	defer f.Close()
-	return render(f)
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dest)
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	return nil
 }
 
 func one(runOne func() (experiments.Result, error)) ([]experiments.Result, error) {

@@ -17,16 +17,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/serve"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
@@ -54,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"traffic pattern: uniform, hotspot[:node:permille], transpose, bitcomplement, neighbor")
 	metricsOut := fs.String("metrics", "", "dump flit-level metrics to a file (\"-\" = stdout)")
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON, one span per measure point (\"-\" = stdout)")
+	serveAddr := fs.String("serve", "",
+		"serve live observability on this address (/metrics, /snapshot, /trace, /debug/pprof/) during the sweep, then until interrupted; SIGINT shuts down cleanly")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -90,14 +96,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var hub *obs.Hub
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *serveAddr != "" {
 		hub = obs.NewHub()
 	}
 
+	// With -serve, live endpoints answer throughout the sweep and SIGINT
+	// aborts the remaining points and shuts the server down cleanly.
+	ctx := context.Background()
+	var srv *serve.Server
+	if *serveAddr != "" {
+		srv = serve.New(hub)
+		if err := srv.Start(*serveAddr); err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = signal.NotifyContext(ctx, os.Interrupt)
+		defer cancel()
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(stderr, "netload: shutdown:", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "netload: observability on http://%s (SIGINT to stop)\n", srv.Addr())
+	}
+	// sync routes hub mutations through the server's lock when serving.
+	sync := func(fn func()) {
+		if srv != nil {
+			srv.Sync(fn)
+		} else {
+			fn()
+		}
+	}
+
 	var points []report.SeriesPoint
+sweep:
 	for _, load := range loads {
 		values := make([]float64, 0, 2*len(modes))
 		for _, mode := range modes {
+			if ctx.Err() != nil {
+				fmt.Fprintln(stderr, "netload: interrupted, reporting completed points")
+				break sweep
+			}
 			topo, err := mkTopo()
 			if err != nil {
 				fmt.Fprintln(stderr, "netload:", err)
@@ -109,9 +151,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			if hub != nil {
-				recordPoint(hub, mode, load, st)
+				sync(func() { recordPoint(hub, mode, load, st) })
 			}
 			values = append(values, thru, lat)
+		}
+		if len(values) < 2*len(modes) {
+			break
 		}
 		points = append(points, report.SeriesPoint{
 			X:      int(load * 1000), // permille for the integer axis
@@ -138,9 +183,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*topoArg, pattern.Name())
 	if *csv {
 		fmt.Fprint(stdout, report.CSV("load_permille", names, points))
-		return 0
+	} else {
+		fmt.Fprint(stdout, report.Series(title, "load", names, points))
 	}
-	fmt.Fprint(stdout, report.Series(title, "load", names, points))
+	if srv != nil && ctx.Err() == nil {
+		// Keep the final state inspectable until the user interrupts.
+		fmt.Fprintln(stderr, "netload: sweep done, still serving (SIGINT to stop)")
+		<-ctx.Done()
+	}
 	return 0
 }
 
@@ -226,17 +276,25 @@ func recordPoint(h *obs.Hub, mode flitnet.Mode, load float64, st flitnet.Stats) 
 	})
 }
 
-// writeTo renders into a file, or stdout for "-".
+// writeTo renders into a file, or stdout for "-". A failed render or close
+// removes the file rather than leaving a truncated dump behind.
 func writeTo(dest string, stdout io.Writer, render func(io.Writer) error) error {
 	if dest == "-" {
 		return render(stdout)
 	}
 	f, err := os.Create(dest)
 	if err != nil {
-		return err
+		return fmt.Errorf("writing %s: %w", dest, err)
 	}
-	defer f.Close()
-	return render(f)
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dest)
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	return nil
 }
 
 func parseLoads(s string) ([]float64, error) {

@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"msglayer/internal/flitnet"
 	"msglayer/internal/topology"
@@ -157,5 +162,88 @@ func TestRunPatternFlag(t *testing.T) {
 	}
 	if code := run([]string{"-pattern", "ring"}, &out, &errOut); code != 1 {
 		t.Errorf("bad pattern exit %d", code)
+	}
+}
+
+// syncBuffer is a strings.Builder safe to write from the run goroutine and
+// read from the test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestObsNetloadServeAnswersAndShutsDownOnSIGINT is the acceptance test for
+// -serve: the HTTP endpoints answer while the process runs, and SIGINT shuts
+// the tool down cleanly with exit status 0.
+func TestObsNetloadServeAnswersAndShutsDownOnSIGINT(t *testing.T) {
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-loads", "0.05,0.1", "-cycles", "500", "-k", "2", "-levels", "2",
+			"-serve", "127.0.0.1:0"}, &out, &errOut)
+	}()
+
+	// The address line is printed after the SIGINT handler is registered.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no server address on stderr:\n%s", errOut.String())
+		}
+		if _, rest, ok := strings.Cut(errOut.String(), "http://"); ok {
+			addr = strings.Fields(rest)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for _, path := range []string{"/metrics", "/snapshot", "/trace", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/snapshot" && !strings.Contains(string(body), `"schema"`) {
+			t.Errorf("/snapshot body missing schema field: %.200s", body)
+		}
+		if path == "/trace" && !strings.Contains(string(body), "traceEvents") {
+			t.Errorf("/trace body missing traceEvents: %.200s", body)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGINT:\n%s", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after SIGINT:\n%s", errOut.String())
+	}
+
+	// The server must actually be down.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after shutdown")
 	}
 }

@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"msglayer/internal/cmam"
 	"msglayer/internal/cost"
@@ -27,6 +30,7 @@ import (
 	"msglayer/internal/machine"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/serve"
 	"msglayer/internal/protocols"
 )
 
@@ -65,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsFormat := fs.String("metrics-format", "prom", "metrics dump format: prom or json")
 	metricsOut := fs.String("metrics-out", "-", "metrics destination file (\"-\" = stdout)")
 	traceOut := fs.String("trace-out", "", "Chrome trace-event JSON destination (\"-\" = stdout, empty = no trace)")
+	serveAddr := fs.String("serve", "",
+		"serve live observability on this address (/metrics, /snapshot, /trace, /debug/pprof/) and keep serving after the runs until interrupted")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,8 +95,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	hub := obs.NewHub()
+	ctx := context.Background()
+	var srv *serve.Server
+	if *serveAddr != "" {
+		srv = serve.New(hub)
+		if err := srv.Start(*serveAddr); err != nil {
+			fmt.Fprintln(stderr, "obsdump:", err)
+			return 1
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = signal.NotifyContext(ctx, os.Interrupt)
+		defer cancel()
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(stderr, "obsdump: shutdown:", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "obsdump: observability on http://%s (SIGINT to stop)\n", srv.Addr())
+	}
 	for _, s := range selected {
-		if err := s.run(hub, *words); err != nil {
+		var err error
+		runOne := func() { err = s.run(hub, *words) }
+		if srv != nil {
+			srv.Sync(runOne) // scenarios mutate the hub; serialize vs handlers
+		} else {
+			runOne()
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "obsdump: %s: %v\n", s.name, err)
 			return 1
 		}
@@ -106,47 +139,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if srv != nil && ctx.Err() == nil {
+		// Keep the recorded run inspectable until the user interrupts.
+		fmt.Fprintln(stderr, "obsdump: runs done, still serving (SIGINT to stop)")
+		<-ctx.Done()
+	}
 	return 0
 }
 
 // writeMetrics dumps the registry in the chosen format.
 func writeMetrics(h *obs.Hub, format, dest string, stdout io.Writer) error {
-	w, closeFn, err := openDest(dest, stdout)
-	if err != nil {
-		return err
-	}
-	defer closeFn()
-	if format == "json" {
-		data, err := h.Metrics.MetricsJSON()
-		if err != nil {
+	return writeDest(dest, stdout, func(w io.Writer) error {
+		if format == "json" {
+			data, err := h.Metrics.MetricsJSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(append(data, '\n'))
 			return err
 		}
-		_, err = w.Write(append(data, '\n'))
-		return err
-	}
-	return h.Metrics.WritePrometheus(w)
+		return h.Metrics.WritePrometheus(w)
+	})
 }
 
 // writeTrace dumps the Chrome trace-event JSON.
 func writeTrace(h *obs.Hub, dest string, stdout io.Writer) error {
-	w, closeFn, err := openDest(dest, stdout)
-	if err != nil {
-		return err
-	}
-	defer closeFn()
-	return h.Trace.WriteChromeTrace(w)
+	return writeDest(dest, stdout, func(w io.Writer) error {
+		return h.Trace.WriteChromeTrace(w)
+	})
 }
 
-// openDest resolves "-" to stdout and anything else to a created file.
-func openDest(dest string, stdout io.Writer) (io.Writer, func(), error) {
+// writeDest renders into a file, or stdout for "-". An unwritable path is a
+// clear error, and a failed render or close removes the file instead of
+// leaving a truncated dump that looks like a valid artifact.
+func writeDest(dest string, stdout io.Writer, render func(io.Writer) error) error {
 	if dest == "-" {
-		return stdout, func() {}, nil
+		return render(stdout)
 	}
 	f, err := os.Create(dest)
 	if err != nil {
-		return nil, nil, err
+		return fmt.Errorf("writing %s: %w", dest, err)
 	}
-	return f, func() { f.Close() }, nil
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dest)
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	return nil
 }
 
 // payload builds a deterministic test payload.

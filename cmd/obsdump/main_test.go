@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -136,5 +138,40 @@ func TestObsDumpBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-words", "0"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("zero words exited %d, want 2", code)
+	}
+}
+
+// TestObsDumpUnwritableTraceOut: an unwritable -trace-out must be a non-zero
+// exit with a clear error, not a silent success or a partial file. A
+// directory path fails os.Create even when tests run as root.
+func TestObsDumpUnwritableTraceOut(t *testing.T) {
+	dest := t.TempDir() // a directory is not a writable file path
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scenario", "cm5-finite", "-words", "16",
+		"-metrics-out", filepath.Join(t.TempDir(), "m.txt"), "-trace-out", dest}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("unwritable -trace-out exited 0; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "writing "+dest) {
+		t.Errorf("error does not name the destination: %s", stderr.String())
+	}
+}
+
+// TestObsDumpFailedRenderRemovesPartialFile: when rendering into a file
+// fails midway, writeDest must remove the truncated artifact.
+func TestObsDumpFailedRenderRemovesPartialFile(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "trace.json")
+	renderErr := errors.New("render broke midway")
+	err := writeDest(dest, io.Discard, func(w io.Writer) error {
+		if _, werr := w.Write([]byte(`{"traceEvents":[`)); werr != nil {
+			return werr
+		}
+		return renderErr
+	})
+	if !errors.Is(err, renderErr) {
+		t.Fatalf("writeDest error = %v, want wrapped render error", err)
+	}
+	if _, statErr := os.Stat(dest); !errors.Is(statErr, os.ErrNotExist) {
+		t.Errorf("partial file left behind at %s (stat err: %v)", dest, statErr)
 	}
 }

@@ -247,6 +247,40 @@ func runStreamCR(words, packetWords int) (report.Cells, error) {
 	return report.MergeRoles(m.Node(0).Gauge, m.Node(1).Gauge), nil
 }
 
+// CanonicalScenarios lists the scenario names RunCanonical accepts, in the
+// fixed order the perf-regression harness records them: the single-packet
+// delivery, then the finite and indefinite protocols on each substrate.
+func CanonicalScenarios() []string {
+	return []string{"single", "cm5-finite", "cm5-stream", "cr-finite", "cr-stream"}
+}
+
+// RunCanonical runs one canonical scenario by name with the paper's 4-word
+// packets and returns the role × feature instruction-cost breakdown. The
+// runs are deterministic: identical inputs reproduce identical cells. words
+// is ignored by "single", which always delivers one packet.
+func RunCanonical(name string, words int) (report.Cells, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("experiments: words must be positive, got %d", words)
+	}
+	switch name {
+	case "single":
+		g, err := runSingle()
+		if err != nil {
+			return nil, err
+		}
+		return report.FromGauge(g), nil
+	case "cm5-finite":
+		return runFiniteCMAM(words, 4)
+	case "cm5-stream":
+		return runStreamCMAM(words, 4, 1)
+	case "cr-finite":
+		return runFiniteCR(words, 4)
+	case "cr-stream":
+		return runStreamCR(words, 4)
+	}
+	return nil, fmt.Errorf("experiments: unknown canonical scenario %q", name)
+}
+
 // runSingle runs one single-packet delivery and returns the gauge.
 func runSingle() (*cost.Gauge, error) {
 	net, err := network.NewCM5Net(network.CM5Config{Nodes: 2})

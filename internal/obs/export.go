@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // metricHelp documents the known metric names for the Prometheus
@@ -55,7 +56,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return nil
 		}
 		typed[name] = true
-		if help := metricHelp[name]; help != "" {
+		help := metricHelp[name]
+		if help == "" {
+			for _, q := range exportedQuantiles {
+				if base, ok := strings.CutSuffix(name, "_"+q.suffix); ok && metricHelp[base] != "" {
+					help = q.suffix + " quantile of " + metricHelp[base]
+				}
+			}
+		}
+		if help != "" {
 			if err := write("# HELP %s%s %s\n", MetricPrefix, name, help); err != nil {
 				return err
 			}
@@ -102,7 +111,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// Bucket-derived quantiles as their own gauge families, grouped per
+	// family so the exposition stays well-formed.
+	for _, q := range exportedQuantiles {
+		for _, k := range sortedKeys(r.hists) {
+			name := k.Name + "_" + q.suffix
+			if err := header(name, "gauge"); err != nil {
+				return err
+			}
+			if err := write("%s%s%s %d\n", MetricPrefix, name, braced(k.labelString()), r.hists[k].Quantile(q.q)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// exportedQuantiles are the bucket-derived quantiles both exporters emit
+// alongside the raw bucket dumps.
+var exportedQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50", 0.50},
+	{"p90", 0.90},
+	{"p99", 0.99},
 }
 
 // appendLabel adds one label pair to a rendered label list.
@@ -135,6 +168,9 @@ type JSONMetric struct {
 	Counts []uint64 `json:"counts,omitempty"`
 	Sum    uint64   `json:"sum,omitempty"`
 	Count  uint64   `json:"count,omitempty"`
+	// Quantiles holds the bucket-derived p50/p90/p99 estimates
+	// (kind == "histogram" only).
+	Quantiles map[string]uint64 `json:"quantiles,omitempty"`
 }
 
 // jsonKey fills the shared key fields.
@@ -167,6 +203,12 @@ func (r *Registry) MetricsJSON() ([]byte, error) {
 		m.Counts = h.Cumulative()
 		m.Sum = h.Sum()
 		m.Count = h.Count()
+		if h.Count() > 0 {
+			m.Quantiles = make(map[string]uint64, len(exportedQuantiles))
+			for _, q := range exportedQuantiles {
+				m.Quantiles[q.suffix] = h.Quantile(q.q)
+			}
+		}
 		out = append(out, m)
 	}
 	return json.MarshalIndent(struct {

@@ -286,3 +286,94 @@ func TestObsChromeTraceValid(t *testing.T) {
 		t.Errorf("feature-axis categories missing: %v", cats)
 	}
 }
+
+func TestObsHistogramQuantile(t *testing.T) {
+	// Uniform 1..100 over the default bounds: rank 50 lands in the <=64
+	// bucket, ranks 90 and 99 in the <=128 bucket.
+	h := NewHistogram(nil)
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{{0, 1}, {0.5, 64}, {0.9, 128}, {0.99, 128}, {1, 128}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("uniform Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+
+	// Point mass: every quantile reports the bucket holding the mass.
+	pm := NewHistogram([]uint64{1, 4, 16})
+	for i := 0; i < 10; i++ {
+		pm.Observe(3)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := pm.Quantile(q); got != 4 {
+			t.Errorf("point-mass Quantile(%v) = %d, want 4", q, got)
+		}
+	}
+
+	// Overflow bucket reports the exact max, not a bound.
+	of := NewHistogram([]uint64{1, 2})
+	of.Observe(1)
+	of.Observe(500)
+	if got := of.Quantile(0.99); got != 500 {
+		t.Errorf("overflow Quantile(0.99) = %d, want 500", got)
+	}
+	if of.Max() != 500 {
+		t.Errorf("Max = %d, want 500", of.Max())
+	}
+
+	// Empty histogram.
+	if got := NewHistogram(nil).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestObsExportersIncludeQuantiles(t *testing.T) {
+	h := NewHub()
+	hist := h.Metrics.Histogram(Key{Name: "transfer_latency_rounds", Node: 0, Proto: "finite"}, nil)
+	for v := uint64(1); v <= 100; v++ {
+		hist.Observe(v)
+	}
+
+	var b bytes.Buffer
+	if err := h.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE msglayer_transfer_latency_rounds_p50 gauge",
+		`msglayer_transfer_latency_rounds_p50{node="0",proto="finite"} 64`,
+		`msglayer_transfer_latency_rounds_p90{node="0",proto="finite"} 128`,
+		`msglayer_transfer_latency_rounds_p99{node="0",proto="finite"} 128`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+
+	data, err := h.Metrics.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []JSONMetric `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range doc.Metrics {
+		if m.Kind == "histogram" && m.Name == "transfer_latency_rounds" {
+			found = true
+			if m.Quantiles["p50"] != 64 || m.Quantiles["p90"] != 128 || m.Quantiles["p99"] != 128 {
+				t.Errorf("JSON quantiles = %v, want p50=64 p90=128 p99=128", m.Quantiles)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("histogram series missing from JSON export")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -94,6 +95,7 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1, last is +Inf
 	sum    uint64
 	n      uint64
+	max    uint64
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds
@@ -111,6 +113,44 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Max returns the largest value observed (0 before any observation).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper estimate of the q-quantile (0 <= q <= 1) from
+// the fixed buckets: the smallest bucket upper bound whose cumulative count
+// covers rank ceil(q*n). Ranks falling into the +Inf overflow bucket report
+// the exact maximum observed, since the buckets cannot resolve beyond their
+// last bound. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		if acc >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max // overflow bucket
+		}
+	}
+	return h.max
 }
 
 // Count returns the number of observations.

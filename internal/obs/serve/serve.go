@@ -1,0 +1,194 @@
+// Package serve exposes a live HTTP view of an observability hub, so a
+// long-running workload (a netload sweep, a soak run) can be watched while
+// it executes instead of only dumped at exit.
+//
+// The server renders the hub through the existing exporters:
+//
+//	/metrics        Prometheus text exposition (scrapeable)
+//	/snapshot       JSON document: clock, trace stats, and the full registry
+//	/trace          Chrome trace-event JSON of everything recorded so far
+//	/debug/pprof/   the standard net/http/pprof handlers (host-side profiles)
+//
+// The simulator is single-threaded by design, so the server serializes all
+// hub reads behind one mutex and hands the owning tool the same lock via
+// Sync: the tool wraps its hub mutations in Sync(fn) and handlers render a
+// consistent view. Rendering happens into a buffer under the lock; slow
+// clients never stall the simulation beyond the render itself.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"msglayer/internal/obs"
+)
+
+// Server serves one hub's live observability view.
+type Server struct {
+	hub *obs.Hub
+
+	mu   sync.Mutex // serializes hub access between the sim thread and handlers
+	http *http.Server
+	ln   net.Listener
+	done chan struct{} // closed when the serve loop exits
+}
+
+// New returns an unstarted server for the hub.
+func New(hub *obs.Hub) *Server {
+	if hub == nil {
+		panic("serve: nil hub")
+	}
+	return &Server{hub: hub, done: make(chan struct{})}
+}
+
+// Sync runs fn while holding the server's hub lock. The tool that owns the
+// hub must route every hub mutation through Sync once the server is started,
+// so handlers never observe a half-updated registry.
+func (s *Server) Sync(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
+// Handler returns the server's route table; exposed for in-process tests.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a background
+// goroutine until Shutdown or Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The listener died under us; nothing to do but stop serving.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, empty before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: in-flight requests finish, then the
+// serve goroutine exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	err := s.http.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close force-stops the server without waiting for in-flight requests.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	err := s.http.Close()
+	<-s.done
+	return err
+}
+
+// render evaluates fn into a buffer under the hub lock and writes the result
+// with the given content type.
+func (s *Server) render(w http.ResponseWriter, contentType string, fn func(*bytes.Buffer) error) {
+	var b bytes.Buffer
+	s.mu.Lock()
+	err := fn(&b)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(b.Bytes())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "msglayer observability server")
+	fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
+	fmt.Fprintln(w, "  /snapshot       JSON snapshot (clock, trace stats, registry)")
+	fmt.Fprintln(w, "  /trace          Chrome trace-event JSON (perfetto-loadable)")
+	fmt.Fprintln(w, "  /debug/pprof/   host-side Go profiles")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.render(w, "text/plain; version=0.0.4; charset=utf-8", func(b *bytes.Buffer) error {
+		return s.hub.Metrics.WritePrometheus(b)
+	})
+}
+
+// snapshotDoc is the /snapshot schema: where the simulated clock stands,
+// how much trace has been retained, and the full metric registry.
+type snapshotDoc struct {
+	Schema       int             `json:"schema"`
+	Round        uint64          `json:"round"`
+	TraceEvents  int             `json:"trace_events"`
+	TraceDropped uint64          `json:"trace_dropped"`
+	Registry     json.RawMessage `json:"registry"`
+}
+
+// snapshotSchema versions the /snapshot document.
+const snapshotSchema = 1
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.render(w, "application/json", func(b *bytes.Buffer) error {
+		reg, err := s.hub.Metrics.MetricsJSON()
+		if err != nil {
+			return err
+		}
+		doc := snapshotDoc{
+			Schema:       snapshotSchema,
+			Round:        s.hub.Round(),
+			TraceEvents:  s.hub.Trace.Len(),
+			TraceDropped: s.hub.Trace.Dropped(),
+			Registry:     reg,
+		}
+		enc := json.NewEncoder(b)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	s.render(w, "application/json", func(b *bytes.Buffer) error {
+		return s.hub.Trace.WriteChromeTrace(b)
+	})
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"msglayer/internal/experiments"
+	"msglayer/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedHub runs the fixed scenario every golden test renders: one 32-word
+// finite transfer on the CM-5 substrate, fully deterministic.
+func fixedHub(t *testing.T) *obs.Hub {
+	t.Helper()
+	h := obs.NewHub()
+	experiments.SetObserver(h)
+	defer experiments.SetObserver(nil)
+	if _, err := experiments.RunCanonical("cm5-finite", 32); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// get fetches a path from the handler and returns the body.
+func get(t *testing.T, srv *Server, path string) []byte {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", path, rec.Code)
+	}
+	return rec.Body.Bytes()
+}
+
+// checkGolden compares got against testdata/<name>, rewriting under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden file; run go test ./internal/obs/serve -update and review the diff.\n--- got ---\n%.2000s", name, got)
+	}
+}
+
+func TestObsServeMetricsGolden(t *testing.T) {
+	srv := New(fixedHub(t))
+	checkGolden(t, "metrics.golden", get(t, srv, "/metrics"))
+}
+
+func TestObsServeSnapshotGolden(t *testing.T) {
+	srv := New(fixedHub(t))
+	body := get(t, srv, "/snapshot")
+	var doc struct {
+		Schema      int             `json:"schema"`
+		Round       uint64          `json:"round"`
+		TraceEvents int             `json:"trace_events"`
+		Registry    json.RawMessage `json:"registry"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/snapshot does not parse: %v", err)
+	}
+	if doc.Schema != snapshotSchema || doc.Round == 0 || doc.TraceEvents == 0 || len(doc.Registry) == 0 {
+		t.Fatalf("/snapshot missing fields: %+v", doc)
+	}
+	checkGolden(t, "snapshot.golden", body)
+}
+
+func TestObsServeTraceAndIndex(t *testing.T) {
+	srv := New(fixedHub(t))
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get(t, srv, "/trace"), &doc); err != nil {
+		t.Fatalf("/trace does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/trace empty")
+	}
+	if body := string(get(t, srv, "/")); len(body) == 0 {
+		t.Fatal("index empty")
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", rec.Code)
+	}
+}
+
+func TestObsServeStartShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := New(obs.NewHub())
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/snapshot", "/trace", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %.200s", path, resp.StatusCode, body)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+
+	// The serve goroutine and the http keep-alive workers must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before Start, %d after Shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestObsServeSyncSerializesMutation(t *testing.T) {
+	h := obs.NewHub()
+	srv := New(h)
+	c := h.Metrics.Counter(obs.Key{Name: "packets_sent_total", Node: 0, Proto: "cmam"})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			srv.Sync(func() { c.Inc() })
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /metrics = %d mid-mutation", rec.Code)
+		}
+	}
+	<-done
+	if got := fmt.Sprint(c.Value()); got != "200" {
+		t.Fatalf("counter = %s, want 200", got)
+	}
+}

@@ -1,0 +1,370 @@
+// Package perfreg is the repository's performance-regression harness: it
+// runs the canonical scenarios a fixed number of times, records both the
+// deterministic simulation metrics (instruction-cost totals per role ×
+// feature × category, scheduler rounds, packet counts) and the host-side
+// metrics (wall-clock time, allocations), persists them as schema-versioned
+// BENCH snapshots, and compares two snapshots into a pass/fail verdict —
+// sim metrics gate at exact equality, host metrics at a statistical
+// threshold (see compare.go).
+//
+// The paper measures *where the time goes*; perfreg makes sure it keeps
+// going to the same places: any PR that drifts an instruction count fails
+// the exact-equality gate, and any PR that slows the harness beyond the
+// noise fails the host gate.
+//
+// Like the simulator it drives, Record is single-threaded and must not run
+// concurrently with other experiment runs (it installs the experiments
+// package's global observer while collecting sim metrics).
+package perfreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"msglayer/internal/cost"
+	"msglayer/internal/experiments"
+	"msglayer/internal/flitnet"
+	"msglayer/internal/network"
+	"msglayer/internal/obs"
+	"msglayer/internal/report"
+	"msglayer/internal/topology"
+	"msglayer/internal/workload"
+)
+
+// SchemaVersion identifies the snapshot layout; bump on incompatible
+// changes.
+const SchemaVersion = 1
+
+// NetloadScenario names the flit-level sweep point recorded alongside the
+// protocol scenarios.
+const NetloadScenario = "netload-fattree-load100"
+
+// Snapshot is one recorded BENCH_PR<k>.json document.
+type Snapshot struct {
+	Schema    int    `json:"schema"`
+	Label     string `json:"label"`
+	CreatedAt string `json:"created_at,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Reps is the number of timed repetitions behind every host sample
+	// vector.
+	Reps int `json:"reps"`
+	// Words is the transfer size the protocol scenarios ran with.
+	Words int `json:"words"`
+	// NetloadCycles is the measurement length of the flit-level point.
+	NetloadCycles int              `json:"netload_cycles"`
+	Scenarios     []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult is one scenario's recorded metrics.
+type ScenarioResult struct {
+	Name string `json:"name"`
+	// Sim holds the deterministic simulation metrics; identical code and
+	// inputs must reproduce them bit-for-bit.
+	Sim map[string]uint64 `json:"sim"`
+	// Host holds the per-repetition host-side samples; they vary run to
+	// run and are compared statistically.
+	Host HostSamples `json:"host"`
+}
+
+// HostSamples are per-repetition host measurements, one entry per rep.
+type HostSamples struct {
+	WallNS     []float64 `json:"wall_ns"`
+	Allocs     []float64 `json:"allocs"`
+	AllocBytes []float64 `json:"alloc_bytes"`
+}
+
+// RecordConfig parameterizes Record. Zero values select the defaults.
+type RecordConfig struct {
+	// Label names the snapshot (e.g. "PR2").
+	Label string
+	// Reps is the number of timed repetitions per scenario (default 5).
+	Reps int
+	// Words is the protocol transfer size (default 64).
+	Words int
+	// NetloadCycles is the flit-level measurement length (default 1000).
+	NetloadCycles int
+	// Timestamp, when non-empty, is stored as CreatedAt.
+	Timestamp string
+}
+
+func (c *RecordConfig) defaults() {
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Words <= 0 {
+		c.Words = 64
+	}
+	if c.NetloadCycles <= 0 {
+		c.NetloadCycles = 1000
+	}
+}
+
+// Record runs every canonical scenario and returns the populated snapshot.
+// Each scenario runs once under an observability hub to collect the sim
+// metrics, then Reps more times unobserved for the host timing samples; the
+// instruction cells of every repetition are checked against the first run,
+// so nondeterminism is caught at record time rather than at the gate.
+func Record(cfg RecordConfig) (*Snapshot, error) {
+	cfg.defaults()
+	snap := &Snapshot{
+		Schema:        SchemaVersion,
+		Label:         cfg.Label,
+		CreatedAt:     cfg.Timestamp,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Reps:          cfg.Reps,
+		Words:         cfg.Words,
+		NetloadCycles: cfg.NetloadCycles,
+	}
+	for _, name := range experiments.CanonicalScenarios() {
+		res, err := recordProtocolScenario(name, cfg.Words, cfg.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("perfreg: %s: %w", name, err)
+		}
+		snap.Scenarios = append(snap.Scenarios, *res)
+	}
+	res, err := recordNetloadScenario(cfg.NetloadCycles, cfg.Reps)
+	if err != nil {
+		return nil, fmt.Errorf("perfreg: %s: %w", NetloadScenario, err)
+	}
+	snap.Scenarios = append(snap.Scenarios, *res)
+	return snap, nil
+}
+
+// recordProtocolScenario records one canonical protocol scenario.
+func recordProtocolScenario(name string, words, reps int) (*ScenarioResult, error) {
+	// Observed run: sim metrics, excluded from timing.
+	hub := obs.NewHub()
+	experiments.SetObserver(hub)
+	cells, err := experiments.RunCanonical(name, words)
+	experiments.SetObserver(nil)
+	if err != nil {
+		return nil, err
+	}
+	sim := simFromCells(cells)
+	sim["rounds"] = hub.Metrics.CounterValue(obs.Key{Name: "run_rounds_total", Node: -1})
+	for _, node := range []int{0, 1} {
+		sim["packets/sent"] += hub.Metrics.CounterValue(obs.Key{Name: "packets_sent_total", Node: node, Proto: "cmam"})
+		sim["packets/received"] += hub.Metrics.CounterValue(obs.Key{Name: "packets_received_total", Node: node, Proto: "cmam"})
+	}
+
+	res := &ScenarioResult{Name: name, Sim: sim}
+	for rep := 0; rep < reps; rep++ {
+		again, err := timed(&res.Host, func() (report.Cells, error) {
+			return experiments.RunCanonical(name, words)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !cellsEqual(cells, again) {
+			return nil, fmt.Errorf("rep %d produced different instruction cells — scenario is nondeterministic", rep+1)
+		}
+	}
+	return res, nil
+}
+
+// timed runs fn once, appending wall-clock and allocation samples.
+func timed[T any](host *HostSamples, fn func() (T, error)) (T, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	out, err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return out, err
+	}
+	host.WallNS = append(host.WallNS, float64(wall.Nanoseconds()))
+	host.Allocs = append(host.Allocs, float64(after.Mallocs-before.Mallocs))
+	host.AllocBytes = append(host.AllocBytes, float64(after.TotalAlloc-before.TotalAlloc))
+	return out, nil
+}
+
+// simFromCells flattens a role × feature × category breakdown into the
+// snapshot's flat metric map.
+func simFromCells(cells report.Cells) map[string]uint64 {
+	sim := make(map[string]uint64)
+	var total uint64
+	for _, r := range cost.Roles() {
+		for _, f := range cost.Features() {
+			v := cells[r][f]
+			prefix := "instr/" + roleSlug(r) + "/" + featureSlug(f) + "/"
+			sim[prefix+"reg"] = v.Reg
+			sim[prefix+"mem"] = v.Mem
+			sim[prefix+"dev"] = v.Dev
+			total += v.Total()
+		}
+	}
+	sim["instr/total"] = total
+	return sim
+}
+
+// cellsEqual compares two breakdowns cell by cell.
+func cellsEqual(a, b report.Cells) bool {
+	for _, r := range cost.Roles() {
+		for _, f := range cost.Features() {
+			if a[r][f] != b[r][f] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// roleSlug is the snapshot key fragment for a role.
+func roleSlug(r cost.Role) string {
+	if r == cost.Source {
+		return "src"
+	}
+	return "dst"
+}
+
+// featureSlug is the snapshot key fragment for a feature.
+func featureSlug(f cost.Feature) string {
+	switch f {
+	case cost.Base:
+		return "base"
+	case cost.BufferMgmt:
+		return "buffer"
+	case cost.InOrder:
+		return "inorder"
+	default:
+		return "fault"
+	}
+}
+
+// recordNetloadScenario records the flit-level sweep point: a 4-ary 2-level
+// fat tree under uniform traffic at offered load 0.1, for all three routing
+// modes. The flit simulator is seeded, so its stats are deterministic.
+func recordNetloadScenario(cycles, reps int) (*ScenarioResult, error) {
+	stats, err := runNetloadPoint(cycles)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{Name: NetloadScenario, Sim: stats}
+	for rep := 0; rep < reps; rep++ {
+		again, err := timed(&res.Host, func() (map[string]uint64, error) {
+			return runNetloadPoint(cycles)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !mapsEqual(stats, again) {
+			return nil, fmt.Errorf("rep %d produced different flit stats — sweep point is nondeterministic", rep+1)
+		}
+	}
+	return res, nil
+}
+
+// netloadLoad and netloadSeed pin the recorded sweep point.
+const (
+	netloadLoad = 0.1
+	netloadSeed = 1
+)
+
+// runNetloadPoint runs the pinned sweep point once per routing mode and
+// returns the flattened deterministic stats.
+func runNetloadPoint(cycles int) (map[string]uint64, error) {
+	pattern, err := workload.ByName("uniform")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64)
+	for _, mode := range []flitnet.Mode{flitnet.Deterministic, flitnet.Adaptive, flitnet.CR} {
+		topo, err := topology.NewFatTree(4, 2)
+		if err != nil {
+			return nil, err
+		}
+		net, err := flitnet.New(flitnet.Config{
+			Topology:        topo,
+			Mode:            mode,
+			BufferFlits:     3,
+			InjectQueue:     8,
+			VirtualChannels: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes := net.Nodes()
+		gen, err := workload.NewGenerator(pattern, nodes, netloadLoad, netloadSeed)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < cycles; c++ {
+			for _, a := range gen.Cycle() {
+				// Refused injections are part of the measurement.
+				_ = net.Inject(network.Packet{
+					Src: a.Src, Dst: a.Dst,
+					Data: []network.Word{network.Word(c)},
+				})
+			}
+			net.Tick(1)
+		}
+		net.TickUntilQuiet(200000)
+		for node := 0; node < nodes; node++ {
+			for {
+				if _, ok := net.TryRecv(node); !ok {
+					break
+				}
+			}
+		}
+		st := net.FlitStats()
+		prefix := "net/" + mode.String() + "/"
+		out[prefix+"injected"] = st.Injected
+		out[prefix+"delivered"] = st.Delivered
+		out[prefix+"backpressure"] = st.Backpressure
+		out[prefix+"kills"] = st.Kills
+		out[prefix+"retries"] = st.Retries
+		out[prefix+"flit_moves"] = st.FlitMoves
+		out[prefix+"failed_worms"] = st.FailedWorms
+		out[prefix+"cycles"] = st.Cycles
+		out[prefix+"latency_sum"] = st.LatencySum
+		out[prefix+"latency_count"] = st.LatencyCount
+		out[prefix+"latency_max"] = st.LatencyMax
+	}
+	return out, nil
+}
+
+// mapsEqual compares two flat metric maps.
+func mapsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteFile persists the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a snapshot, rejecting unknown schema versions.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perfreg: %s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perfreg: %s: schema %d, this build reads %d", path, s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}

@@ -1,0 +1,185 @@
+package perfreg
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps recording fast in tests.
+func tinyConfig() RecordConfig {
+	return RecordConfig{Label: "test", Reps: 2, Words: 16, NetloadCycles: 100}
+}
+
+// record is a cached tiny snapshot so the suite pays for one recording.
+var recorded *Snapshot
+
+func recordOnce(t *testing.T) *Snapshot {
+	t.Helper()
+	if recorded == nil {
+		s, err := Record(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recorded = s
+	}
+	return recorded
+}
+
+func TestPerfregRecordShape(t *testing.T) {
+	s := recordOnce(t)
+	if s.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", s.Schema, SchemaVersion)
+	}
+	if len(s.Scenarios) != 6 {
+		t.Fatalf("got %d scenarios, want 6", len(s.Scenarios))
+	}
+	for _, sc := range s.Scenarios {
+		if len(sc.Sim) == 0 {
+			t.Errorf("%s: no sim metrics", sc.Name)
+		}
+		if len(sc.Host.WallNS) != 2 || len(sc.Host.Allocs) != 2 || len(sc.Host.AllocBytes) != 2 {
+			t.Errorf("%s: host samples %d/%d/%d, want 2 each",
+				sc.Name, len(sc.Host.WallNS), len(sc.Host.Allocs), len(sc.Host.AllocBytes))
+		}
+		if sc.Name != NetloadScenario {
+			if sc.Sim["instr/total"] == 0 {
+				t.Errorf("%s: zero total instruction count", sc.Name)
+			}
+		} else if sc.Sim["net/deterministic/delivered"] == 0 {
+			t.Errorf("%s: zero delivered packets: %v", sc.Name, sc.Sim)
+		}
+	}
+}
+
+func TestPerfregRoundTripAndIdenticalCompare(t *testing.T) {
+	s := recordOnce(t)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(s, loaded, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("identical snapshots failed the gate:\n%s", rep)
+	}
+	if rep.SimChecked == 0 || rep.SimEqual != rep.SimChecked {
+		t.Fatalf("sim equality: %d/%d", rep.SimEqual, rep.SimChecked)
+	}
+	if !strings.Contains(rep.String(), "verdict: PASS") {
+		t.Fatalf("report missing PASS verdict:\n%s", rep)
+	}
+}
+
+// clone deep-copies a snapshot through its JSON representation.
+func clone(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "clone.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPerfregSimDriftFails(t *testing.T) {
+	s := recordOnce(t)
+	bad := clone(t, s)
+	// Inject a +20% instruction-cost regression into one scenario.
+	sim := bad.Scenarios[1].Sim
+	sim["instr/total"] = sim["instr/total"] * 12 / 10
+	rep, err := Compare(s, bad, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("+20%% sim drift passed the gate:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "DRIFT") || !strings.Contains(rep.String(), "verdict: FAIL") {
+		t.Fatalf("report does not call out the drift:\n%s", rep)
+	}
+}
+
+func TestPerfregMissingMetricAndScenarioFail(t *testing.T) {
+	s := recordOnce(t)
+	bad := clone(t, s)
+	delete(bad.Scenarios[0].Sim, "instr/total")
+	bad.Scenarios = bad.Scenarios[:len(bad.Scenarios)-1]
+	rep, err := Compare(s, bad, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("missing metric and scenario passed the gate")
+	}
+}
+
+func TestPerfregHostGate(t *testing.T) {
+	s := recordOnce(t)
+
+	// A clear, consistent +50% wall regression must fail...
+	slow := clone(t, s)
+	for i := range slow.Scenarios {
+		slow.Scenarios[i].Host.WallNS = []float64{1500, 1501, 1502, 1499, 1498}
+	}
+	base := clone(t, s)
+	for i := range base.Scenarios {
+		base.Scenarios[i].Host.WallNS = []float64{1000, 1001, 1002, 999, 998}
+	}
+	rep, err := Compare(base, slow, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("+50%% host regression passed:\n%s", rep)
+	}
+
+	// ...unless the gate runs sim-only (the CI mode)...
+	rep, err = Compare(base, slow, CompareOptions{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("sim-only compare failed on host noise:\n%s", rep)
+	}
+
+	// ...or the threshold allows it.
+	rep, err = Compare(base, slow, CompareOptions{HostThreshold: 0.60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("+50%% regression failed a +60%% threshold:\n%s", rep)
+	}
+}
+
+func TestPerfregIncomparableSnapshots(t *testing.T) {
+	s := recordOnce(t)
+	other := clone(t, s)
+	other.Words = s.Words + 1
+	if _, err := Compare(s, other, CompareOptions{}); err == nil {
+		t.Fatal("snapshots with different words compared without error")
+	}
+}
+
+func TestPerfregSchemaRejected(t *testing.T) {
+	s := recordOnce(t)
+	bad := clone(t, s)
+	bad.Schema = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}

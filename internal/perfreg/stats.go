@@ -1,0 +1,175 @@
+package perfreg
+
+import "math"
+
+// Mean returns the arithmetic mean, 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, 0 for fewer than two
+// observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// WelchT computes Welch's unequal-variance t-test between two samples:
+// the t statistic, the Welch–Satterthwaite degrees of freedom, and the
+// two-sided p-value. Degenerate inputs (fewer than two observations on a
+// side, or zero variance on both sides) report p = 1 when the means are
+// equal and p = 0 when they differ — the deterministic limit of the test.
+func WelchT(a, b []float64) (t, df, p float64) {
+	if len(a) < 2 || len(b) < 2 {
+		if Mean(a) == Mean(b) {
+			return 0, 0, 1
+		}
+		return math.Inf(1), 0, 0
+	}
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se2 := sa + sb
+	if se2 == 0 {
+		if Mean(a) == Mean(b) {
+			return 0, na + nb - 2, 1
+		}
+		return math.Inf(1), na + nb - 2, 0
+	}
+	t = (Mean(a) - Mean(b)) / math.Sqrt(se2)
+	df = se2 * se2 / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p = 2 * studentTTail(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return t, df, p
+}
+
+// studentTTail returns P(T > t) for Student's t-distribution with df
+// degrees of freedom, via the regularized incomplete beta function.
+func studentTTail(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// tQuantile returns the q-quantile (q in (0.5, 1)) of Student's t with df
+// degrees of freedom by bisection on the tail probability.
+func tQuantile(q, df float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	tail := 1 - q
+	lo, hi := 0.0, 1e6
+	for i := 0; i < 200 && hi-lo > 1e-9*(1+lo); i++ {
+		mid := (lo + hi) / 2
+		if studentTTail(mid, df) > tail {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanCI returns the sample mean and the half-width of its confidence
+// interval at the given confidence level (e.g. 0.95), using the Student-t
+// critical value. Samples with fewer than two observations report a zero
+// half-width.
+func MeanCI(xs []float64, confidence float64) (mean, half float64) {
+	mean = Mean(xs)
+	n := float64(len(xs))
+	if n < 2 {
+		return mean, 0
+	}
+	crit := tQuantile(1-(1-confidence)/2, n-1)
+	return mean, crit * math.Sqrt(Variance(xs)/n)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,88 @@
+package perfreg
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestStatsMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "variance", Variance(xs), 32.0/7, 1e-12)
+	if Mean(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Fatal("degenerate samples should report 0")
+	}
+}
+
+func TestStatsStudentTTail(t *testing.T) {
+	// With df=1 the t-distribution is standard Cauchy: P(T>1) = 1/4.
+	approx(t, "tail(1, df=1)", studentTTail(1, 1), 0.25, 1e-9)
+	// Median.
+	approx(t, "tail(0, df=7)", studentTTail(0, 7), 0.5, 1e-12)
+	// Large df approaches the normal distribution: P(Z>1.96) ~ 0.025.
+	approx(t, "tail(1.96, df=1e6)", studentTTail(1.96, 1e6), 0.025, 1e-3)
+	if got := studentTTail(math.Inf(1), 5); got != 0 {
+		t.Fatalf("tail(inf) = %v, want 0", got)
+	}
+}
+
+func TestStatsTQuantile(t *testing.T) {
+	// Classic table values.
+	approx(t, "t(0.975, df=1)", tQuantile(0.975, 1), 12.706, 0.01)
+	approx(t, "t(0.975, df=4)", tQuantile(0.975, 4), 2.776, 0.005)
+	approx(t, "t(0.975, df=1e6)", tQuantile(0.975, 1e6), 1.960, 0.005)
+}
+
+func TestStatsWelch(t *testing.T) {
+	// Unequal sizes and variances; reference values computed with the
+	// textbook Welch formulas: t = -2.9881, df = 25.246, p ~ 0.0062.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.8, 23.2, 19.8, 28.2, 23.8, 25.5, 23.3, 23.9, 22.8}
+	tt, df, p := WelchT(a, b)
+	approx(t, "welch t", tt, -2.9881, 0.001)
+	approx(t, "welch df", df, 25.246, 0.01)
+	approx(t, "welch p", p, 0.0062, 0.0005)
+
+	// Identical samples: no evidence of difference.
+	if _, _, p := WelchT(a, a); p != 1 {
+		t.Fatalf("p(identical) = %v, want 1", p)
+	}
+	// Deterministic limit: single observations, different values.
+	if _, _, p := WelchT([]float64{1}, []float64{2}); p != 0 {
+		t.Fatalf("p(deterministic diff) = %v, want 0", p)
+	}
+	if _, _, p := WelchT([]float64{3}, []float64{3}); p != 1 {
+		t.Fatalf("p(deterministic equal) = %v, want 1", p)
+	}
+	// Zero variance both sides, equal means.
+	if _, _, p := WelchT([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("p(zero variance equal) = %v, want 1", p)
+	}
+}
+
+func TestStatsMeanCI(t *testing.T) {
+	// n=5, sd=1: half-width = t(0.975,4) * 1/sqrt(5) ~ 1.2416.
+	xs := []float64{-1.264911064, -0.632455532, 0, 0.632455532, 1.264911064} // mean 0, var 1
+	m, half := MeanCI(xs, 0.95)
+	approx(t, "ci mean", m, 0, 1e-9)
+	approx(t, "ci half", half, 2.776/math.Sqrt(5), 0.01)
+	if _, half := MeanCI([]float64{7}, 0.95); half != 0 {
+		t.Fatalf("single-sample CI half-width = %v, want 0", half)
+	}
+}
+
+func TestStatsRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x.
+	approx(t, "I_0.3(1,1)", regIncBeta(1, 1, 0.3), 0.3, 1e-12)
+	// I_x(2,2) = 3x^2 - 2x^3.
+	approx(t, "I_0.4(2,2)", regIncBeta(2, 2, 0.4), 3*0.16-2*0.064, 1e-9)
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	approx(t, "symmetry", regIncBeta(2.5, 3.5, 0.3), 1-regIncBeta(3.5, 2.5, 0.7), 1e-9)
+}

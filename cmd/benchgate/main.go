@@ -8,15 +8,18 @@
 // counts, flit stats) and the host metrics (wall clock, allocations).
 //
 // Compare mode gates a new snapshot against an old one: sim metrics must
-// match exactly (any instruction-count drift fails), host metrics may
-// regress up to a threshold unless the change is statistically
-// insignificant (Welch's t-test). Exit status 0 means the gate passed,
-// 1 means it failed or errored, 2 means bad usage.
+// match exactly (any instruction-count drift fails), allocation benchmarks
+// must not grow their allocs/op, and host metrics may regress up to a
+// threshold unless the change is statistically insignificant (Welch's
+// t-test). Host metrics only gate between snapshots recorded at the same
+// -parallel count. Exit status 0 means the gate passed, 1 means it failed
+// or errored, 2 means bad usage.
 //
 // Usage:
 //
 //	benchgate -record BENCH_PR2.json -label PR2        # write a snapshot
 //	benchgate -record out.json -n 10 -words 128        # heavier recording
+//	benchgate -record out.json -parallel 1             # serial reps (comparable host numbers)
 //	benchgate -compare BENCH_PR2.json fresh.json       # full gate
 //	benchgate -compare -sim-only old.json new.json     # CI: exact sim gate only
 //	benchgate -compare -threshold 0.2 -alpha 0.01 old.json new.json
@@ -47,13 +50,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 5, "timed repetitions per scenario when recording")
 	words := fs.Int("words", 64, "protocol transfer size in words when recording")
 	netloadCycles := fs.Int("netload-cycles", 1000, "flit-level measurement cycles when recording")
+	parallel := fs.Int("parallel", 0,
+		"worker goroutines for the timed repetitions (0 = GOMAXPROCS, 1 = serial); host metrics only gate between snapshots recorded at the same count")
+	noBenches := fs.Bool("no-benches", false, "skip the allocation benchmarks when recording")
 	compare := fs.Bool("compare", false, "compare two snapshots: benchgate -compare old.json new.json")
 	threshold := fs.Float64("threshold", 0.10, "fractional host-metric regression that fails the gate")
 	alpha := fs.Float64("alpha", 0.05, "significance level a host regression must reach to fail")
-	simOnly := fs.Bool("sim-only", false, "gate only the deterministic sim metrics (CI mode)")
+	simOnly := fs.Bool("sim-only", false, "gate only the deterministic metrics — sim counts and bench allocs/op (CI mode)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "benchgate: record and gate performance snapshots")
-		fmt.Fprintln(stderr, "  benchgate -record out.json [-label L] [-n 5] [-words 64] [-netload-cycles 1000]")
+		fmt.Fprintln(stderr, "  benchgate -record out.json [-label L] [-n 5] [-words 64] [-netload-cycles 1000] [-parallel 0] [-no-benches]")
 		fmt.Fprintln(stderr, "  benchgate -compare [-threshold 0.10] [-alpha 0.05] [-sim-only] old.json new.json")
 		fs.PrintDefaults()
 	}
@@ -66,7 +72,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchgate: -record and -compare are mutually exclusive")
 		return 2
 	case *record != "":
-		return doRecord(*record, *label, *n, *words, *netloadCycles, stdout, stderr)
+		return doRecord(perfreg.RecordConfig{
+			Label:         *label,
+			Reps:          *n,
+			Words:         *words,
+			NetloadCycles: *netloadCycles,
+			Parallel:      *parallel,
+			SkipBenches:   *noBenches,
+			Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		}, *record, stdout, stderr)
 	case *compare:
 		if fs.NArg() != 2 {
 			fmt.Fprintln(stderr, "benchgate: -compare wants exactly two snapshot paths, got", fs.NArg())
@@ -83,15 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // doRecord runs the harness and writes the snapshot.
-func doRecord(path, label string, n, words, netloadCycles int, stdout, stderr io.Writer) int {
+func doRecord(cfg perfreg.RecordConfig, path string, stdout, stderr io.Writer) int {
 	start := time.Now()
-	snap, err := perfreg.Record(perfreg.RecordConfig{
-		Label:         label,
-		Reps:          n,
-		Words:         words,
-		NetloadCycles: netloadCycles,
-		Timestamp:     time.Now().UTC().Format(time.RFC3339),
-	})
+	snap, err := perfreg.Record(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 1
@@ -100,8 +108,8 @@ func doRecord(path, label string, n, words, netloadCycles int, stdout, stderr io
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchgate: recorded %d scenarios x %d reps to %s in %v\n",
-		len(snap.Scenarios), snap.Reps, path, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "benchgate: recorded %d scenarios x %d reps (parallel %d) and %d benches to %s in %v\n",
+		len(snap.Scenarios), snap.Reps, snap.Parallel, len(snap.Benches), path, time.Since(start).Round(time.Millisecond))
 	return 0
 }
 

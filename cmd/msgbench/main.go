@@ -7,6 +7,7 @@
 //	msgbench -table 2         # one table (1, 2, or 3)
 //	msgbench -figure 6        # one figure (6 or 8)
 //	msgbench -ablations       # the prose-claim ablations and the flit demo
+//	msgbench -parallel 4      # fan the experiments over 4 workers
 //	msgbench -quiet           # only the paper-vs-measured summary
 //	msgbench -json            # machine-readable result summary on stdout
 //	msgbench -metrics m.txt   # dump runtime metrics ("-" = stdout)
@@ -62,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table := fs.Int("table", 0, "run a single table (1, 2, or 3)")
 	figure := fs.Int("figure", 0, "run a single figure (6 or 8)")
 	ablations := fs.Bool("ablations", false, "run the ablation experiments")
+	parallel := fs.Int("parallel", 0,
+		"worker goroutines for the full experiment run (0 = GOMAXPROCS, 1 = serial; forced serial when an observer is attached)")
 	quiet := fs.Bool("quiet", false, "print only the comparison summary")
 	asJSON := fs.Bool("json", false, "print a machine-readable JSON summary instead of text")
 	metrics := fs.String("metrics", "", "dump runtime metrics to a file after the runs (\"-\" = stdout)")
@@ -120,7 +123,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case *ablations:
 			results, err = experiments.Ablations()
 		default:
-			results, err = experiments.All()
+			// AllWith falls back to serial on its own when an observer hub
+			// is attached, so -metrics/-trace-out/-serve artifacts keep
+			// their run-order layout.
+			results, err = experiments.AllWith(*parallel)
 		}
 	}
 	if srv != nil {

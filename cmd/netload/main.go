@@ -12,6 +12,7 @@
 //	netload -topology mesh -w 4 -h 4   # 4x4 mesh
 //	netload -loads 0.05,0.1,0.2        # custom offered loads (pkts/node/cycle)
 //	netload -cycles 4000 -csv
+//	netload -parallel 8                # fan the load/mode grid over 8 workers
 //	netload -metrics m.txt             # dump flit-level metrics ("-" = stdout)
 //	netload -trace-out t.json          # Chrome trace with one span per point
 package main
@@ -31,6 +32,7 @@ import (
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/serve"
+	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
@@ -56,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	vcs := fs.Int("vc", 1, "virtual channels (adaptive mesh needs >= 2)")
 	patternArg := fs.String("pattern", "uniform",
 		"traffic pattern: uniform, hotspot[:node:permille], transpose, bitcomplement, neighbor")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := fs.String("metrics", "", "dump flit-level metrics to a file (\"-\" = stdout)")
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON, one span per measure point (\"-\" = stdout)")
 	serveAddr := fs.String("serve", "",
@@ -131,32 +134,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var points []report.SeriesPoint
-sweep:
-	for _, load := range loads {
-		values := make([]float64, 0, 2*len(modes))
-		for _, mode := range modes {
-			if ctx.Err() != nil {
-				fmt.Fprintln(stderr, "netload: interrupted, reporting completed points")
-				break sweep
-			}
-			topo, err := mkTopo()
-			if err != nil {
-				fmt.Fprintln(stderr, "netload:", err)
-				return 1
-			}
-			thru, lat, st, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed)
-			if err != nil {
-				fmt.Fprintln(stderr, "netload:", err)
-				return 1
-			}
-			if hub != nil {
-				sync(func() { recordPoint(hub, mode, load, st) })
-			}
-			values = append(values, thru, lat)
+	// Each (load, mode) point is an independent deterministic run — fresh
+	// topology, network, and generator, same seed — so the grid fans across
+	// a worker pool. Every job writes only its own slot; the hub and the
+	// report consume the slots in input order afterwards, which makes the
+	// output byte-identical at any worker count (-parallel 1 is the serial
+	// loop this replaces).
+	type pointResult struct {
+		thru, lat float64
+		st        flitnet.Stats
+	}
+	jobs := len(loads) * len(modes)
+	results := make([]pointResult, jobs)
+	prefix, err := parsweep.RunCtx(ctx, parsweep.Workers(*parallel), jobs, func(i int) error {
+		load, mode := loads[i/len(modes)], modes[i%len(modes)]
+		topo, err := mkTopo()
+		if err != nil {
+			return err
 		}
-		if len(values) < 2*len(modes) {
-			break
+		thru, lat, st, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed)
+		if err != nil {
+			return err
+		}
+		results[i] = pointResult{thru, lat, st}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "netload:", err)
+		return 1
+	}
+	if prefix < jobs {
+		fmt.Fprintln(stderr, "netload: interrupted, reporting completed points")
+	}
+	var points []report.SeriesPoint
+	for li := 0; li < prefix/len(modes); li++ {
+		load := loads[li]
+		values := make([]float64, 0, 2*len(modes))
+		for mi, mode := range modes {
+			res := results[li*len(modes)+mi]
+			if hub != nil {
+				sync(func() { recordPoint(hub, mode, load, res.st) })
+			}
+			values = append(values, res.thru, res.lat)
 		}
 		points = append(points, report.SeriesPoint{
 			X:      int(load * 1000), // permille for the integer axis

@@ -43,6 +43,44 @@ func TestRunMeshCSV(t *testing.T) {
 	}
 }
 
+// TestRunParallelMatchesSerial is the parallel sweep engine's determinism
+// contract: the report table, the metrics dump, and the Chrome trace — the
+// hub state accumulated across every sweep point — must be byte-identical
+// at any worker count.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	runWith := func(workers string) (stdout, metrics, trace string) {
+		dir := t.TempDir()
+		mPath := filepath.Join(dir, "m.txt")
+		tPath := filepath.Join(dir, "t.json")
+		var out, errOut strings.Builder
+		code := run([]string{"-loads", "0.05,0.1,0.2", "-cycles", "300", "-k", "2", "-levels", "2",
+			"-metrics", mPath, "-trace-out", tPath, "-parallel", workers}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d: %s", workers, code, errOut.String())
+		}
+		m, err := os.ReadFile(mPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(tPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), string(m), string(tr)
+	}
+	serialOut, serialMetrics, serialTrace := runWith("1")
+	parOut, parMetrics, parTrace := runWith("8")
+	if parOut != serialOut {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s", serialOut, parOut)
+	}
+	if parMetrics != serialMetrics {
+		t.Errorf("metrics dump differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s", serialMetrics, parMetrics)
+	}
+	if parTrace != serialTrace {
+		t.Errorf("trace differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s", serialTrace, parTrace)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-topology", "ring"}, &out, &errOut); code != 1 {

@@ -21,6 +21,7 @@ import (
 
 	"msglayer/internal/analytic"
 	"msglayer/internal/cost"
+	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
 )
 
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	protoArg := fs.String("protocol", "", "protocol: finite, indefinite, finite-cr, indefinite-cr (default: finite and indefinite)")
 	ooo := fs.Float64("ooo", 0.5, "fraction of packets arriving out of order (indefinite protocols)")
 	ackGroup := fs.Int("ackgroup", 1, "acknowledgement group size (indefinite CMAM)")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,29 +72,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		names = append(names, p.String()+" total", p.String()+" overhead")
 	}
 
-	var points []report.SeriesPoint
-	for _, n := range sizes {
-		sched, err := cost.NewPaperSchedule(n)
-		if err != nil {
-			fmt.Fprintln(stderr, "sweep:", err)
-			return 1
-		}
-		p := analytic.Packets(sched, *words)
-		prm := analytic.Params{
-			MessageWords: *words,
-			OutOfOrder:   int(*ooo * float64(p)),
-			AckGroup:     *ackGroup,
-		}
-		var values []float64
-		for _, proto := range selected {
-			b, err := analytic.Evaluate(proto, sched, prm)
+	// Every packet size evaluates independently against its own schedule, so
+	// the sweep fans across a worker pool; Map reassembles points in input
+	// order, keeping the table identical at any worker count.
+	points, err := parsweep.Map(parsweep.Workers(*parallel), len(sizes),
+		func(i int) (report.SeriesPoint, error) {
+			n := sizes[i]
+			sched, err := cost.NewPaperSchedule(n)
 			if err != nil {
-				fmt.Fprintln(stderr, "sweep:", err)
-				return 1
+				return report.SeriesPoint{}, err
 			}
-			values = append(values, float64(b.Total().Total()), b.Overhead())
-		}
-		points = append(points, report.SeriesPoint{X: n, Values: values})
+			p := analytic.Packets(sched, *words)
+			prm := analytic.Params{
+				MessageWords: *words,
+				OutOfOrder:   int(*ooo * float64(p)),
+				AckGroup:     *ackGroup,
+			}
+			var values []float64
+			for _, proto := range selected {
+				b, err := analytic.Evaluate(proto, sched, prm)
+				if err != nil {
+					return report.SeriesPoint{}, err
+				}
+				values = append(values, float64(b.Total().Total()), b.Overhead())
+			}
+			return report.SeriesPoint{X: n, Values: values}, nil
+		})
+	if err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
 	}
 
 	title := fmt.Sprintf("Messaging cost vs packet size: %d-word message, ooo=%.2f, ack group %d",

@@ -47,6 +47,20 @@ func TestRunKnobs(t *testing.T) {
 	}
 }
 
+func TestRunParallelMatchesSerial(t *testing.T) {
+	runWith := func(workers string) string {
+		var out, errOut strings.Builder
+		code := run([]string{"-sizes", "4,8,16,32,64,128", "-parallel", workers}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d: %s", workers, code, errOut.String())
+		}
+		return out.String()
+	}
+	if serial, par := runWith("1"), runWith("8"); serial != par {
+		t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-protocol", "nope"}, &out, &errOut); code != 1 {

@@ -6,6 +6,7 @@ import (
 
 	"msglayer/internal/analytic"
 	"msglayer/internal/cost"
+	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
 )
 
@@ -342,18 +343,23 @@ func overhead(c report.Cells) float64 {
 	return 1 - float64(base)/float64(total)
 }
 
-// All runs every paper experiment in order.
-func All() ([]Result, error) {
+// All runs every paper experiment in order, serially.
+func All() ([]Result, error) { return AllWith(1) }
+
+// AllWith runs every paper experiment, fanning them across up to workers
+// goroutines (values below 1 select GOMAXPROCS). Each experiment builds
+// its own machines, networks, and gauges, so the runs are independent and
+// deterministic; results are reassembled in the fixed experiment order, so
+// the output is identical at any worker count. When an observer hub is
+// installed the runs stay serial: the hub accumulates metrics and trace
+// events in run order, and that order is part of the exported artifact.
+func AllWith(workers int) ([]Result, error) {
 	runners := []func() (Result, error){
 		Table1, Table2, Table3, Figure6, Figure8,
 	}
-	var out []Result
-	for _, run := range runners {
-		r, err := run()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	if observer != nil {
+		workers = 1
 	}
-	return out, nil
+	return parsweep.Map(parsweep.Workers(workers), len(runners),
+		func(i int) (Result, error) { return runners[i]() })
 }

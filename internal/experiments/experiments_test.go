@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -111,6 +112,20 @@ func TestAllRunsEveryPaperExperiment(t *testing.T) {
 		if !ids[want] {
 			t.Errorf("All() missing %s", want)
 		}
+	}
+}
+
+func TestAllWithParallelMatchesSerial(t *testing.T) {
+	serial, err := AllWith(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AllWith(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel experiment results differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
 	}
 }
 

@@ -26,13 +26,16 @@ func (n *Net) quiet() bool {
 		return false
 	}
 	for _, f := range n.flows {
-		if f.active != nil || len(f.queue) > 0 {
+		if f.active != nil || f.pending() > 0 {
 			return false
 		}
 	}
 	return true
 }
 
+// tickOnce advances one cycle. The phases allocate nothing: the per-cycle
+// "who injected / which link carried a flit" sets are cycle-stamped scratch
+// slices on the Net and routers rather than fresh maps.
 func (n *Net) tickOnce() {
 	n.cycle++
 	n.stats.Cycles++
@@ -47,7 +50,6 @@ func (n *Net) tickOnce() {
 // deadlock wormhole flow control: the first worm's body could be trapped
 // behind the second worm's blocked head).
 func (n *Net) injectPhase() {
-	injected := make(map[int]bool)
 	for _, key := range n.order {
 		f := n.flows[key]
 		if f.active == nil && n.injecting[key.src] == nil {
@@ -57,7 +59,7 @@ func (n *Net) injectPhase() {
 			}
 		}
 		w := f.active
-		if w == nil || w.state != wormInjecting || injected[key.src] {
+		if w == nil || w.state != wormInjecting || n.injMark[key.src] == n.cycle {
 			continue
 		}
 		if n.injecting[key.src] != w {
@@ -65,7 +67,7 @@ func (n *Net) injectPhase() {
 		}
 		srcRouter, srcPort := n.cfg.Topology.NodePort(key.src)
 		buf := &n.routers[srcRouter].inputs[srcPort][w.srcVC]
-		if len(*buf) >= n.cfg.BufferFlits {
+		if buf.len() >= n.cfg.BufferFlits {
 			// The head is stuck at the source; in CR mode a worm that
 			// cannot even enter counts as blocked too.
 			if w.sent == 0 {
@@ -73,9 +75,9 @@ func (n *Net) injectPhase() {
 			}
 			continue
 		}
-		*buf = append(*buf, flit{worm: w, kind: n.flitKind(w), arrived: n.cycle})
+		buf.push(flit{worm: w, kind: n.flitKind(w), arrived: n.cycle})
 		w.sent++
-		injected[key.src] = true
+		n.injMark[key.src] = n.cycle
 		if w.sent == w.flits {
 			w.state = wormInFlight
 			n.injecting[key.src] = nil
@@ -90,15 +92,13 @@ func (n *Net) injectPhase() {
 
 // nextAwake pops the flow's next awake worm.
 func (f *flow) nextAwake(cycle uint64) *worm {
-	if len(f.queue) == 0 {
+	if f.pending() == 0 {
 		return nil
 	}
-	w := f.queue[0]
-	if w.wakeAt > cycle {
+	if f.front().wakeAt > cycle {
 		return nil
 	}
-	f.queue = f.queue[1:]
-	return w
+	return f.popFront()
 }
 
 func (n *Net) startNext(f *flow) *worm {
@@ -134,30 +134,29 @@ func (n *Net) flitKind(w *worm) flitKind {
 func (n *Net) routePhase() {
 	vcs := n.cfg.VirtualChannels
 	for r := range n.routers {
-		usedOut := make(map[int]bool)
 		for port := range n.routers[r].inputs {
 			for v := 0; v < vcs; v++ {
 				// Rotate virtual-channel priority each cycle for fairness.
 				vc := (v + int(n.cycle)) % vcs
-				n.advanceLane(r, port, vc, usedOut)
+				n.advanceLane(r, port, vc)
 			}
 		}
 	}
 }
 
-func (n *Net) advanceLane(r, port, vc int, usedOut map[int]bool) {
+func (n *Net) advanceLane(r, port, vc int) {
 	rt := &n.routers[r]
 	buf := &rt.inputs[port][vc]
-	if len(*buf) == 0 {
+	if buf.len() == 0 {
 		return
 	}
-	fl := (*buf)[0]
+	fl := *buf.front()
 	if fl.arrived == n.cycle {
 		return // moved into this lane this cycle; advances next cycle
 	}
 	w := fl.worm
 	if w.state == wormKilled || w.state == wormFailed {
-		*buf = (*buf)[1:]
+		buf.pop()
 		return
 	}
 
@@ -168,25 +167,25 @@ func (n *Net) advanceLane(r, port, vc int, usedOut map[int]bool) {
 		// is a body/tail flit following the head.
 		out = claimed
 	} else if fl.kind == flitHead {
-		claimed, ok := n.routeHead(r, port, vc, w, usedOut)
+		claimed, ok := n.routeHead(r, port, vc, w)
 		if !ok {
 			return // blocked, consumed at a terminal, or killed
 		}
 		out = claimed
 	} else {
 		// A body flit with no claim means the worm was killed and swept.
-		*buf = (*buf)[1:]
+		buf.pop()
 		return
 	}
-	if usedOut[out.port] {
+	if rt.outUsed[out.port] == n.cycle {
 		return // the physical link already carried a flit this cycle
 	}
 
 	peer, peerPort, node := n.cfg.Topology.Neighbor(r, out.port)
 	if node != topology.Terminal {
 		// Delivery: consume the flit; the tail completes the packet.
-		*buf = (*buf)[1:]
-		usedOut[out.port] = true
+		buf.pop()
+		rt.outUsed[out.port] = n.cycle
 		n.stats.FlitMoves++
 		if fl.kind == flitTail {
 			n.finishWorm(r, out, w, node)
@@ -195,22 +194,22 @@ func (n *Net) advanceLane(r, port, vc int, usedOut map[int]bool) {
 	}
 	// Router-to-router hop: needs space downstream on the claimed lane.
 	dst := &n.routers[peer].inputs[peerPort][out.vc]
-	if len(*dst) >= n.cfg.BufferFlits {
+	if dst.len() >= n.cfg.BufferFlits {
 		if fl.kind == flitHead {
 			n.noteBlocked(w)
 		}
 		return
 	}
-	*buf = (*buf)[1:]
+	buf.pop()
 	fl.arrived = n.cycle
-	*dst = append(*dst, fl)
-	usedOut[out.port] = true
+	dst.push(fl)
+	rt.outUsed[out.port] = n.cycle
 	n.stats.FlitMoves++
 	w.blocked = 0
 	if fl.kind == flitTail {
 		// The tail releases this router's claim on the output lane.
-		if rt.owner[out] == w {
-			delete(rt.owner, out)
+		if rt.owner[out.port][out.vc] == w {
+			rt.owner[out.port][out.vc] = nil
 		}
 		delete(rt.route, w.id)
 	}
@@ -220,9 +219,10 @@ func (n *Net) advanceLane(r, port, vc int, usedOut map[int]bool) {
 // (lane, true) on success. On rejection the worm is killed; on blocking the
 // head stays put; on delivery at a terminal the head is consumed and
 // (lane, false) is returned with the claim recorded.
-func (n *Net) routeHead(r, port, vc int, w *worm, usedOut map[int]bool) (lane, bool) {
+func (n *Net) routeHead(r, port, vc int, w *worm) (lane, bool) {
 	rt := &n.routers[r]
-	cands := n.cfg.Topology.Route(r, port, w.packet.Dst)
+	n.routeScratch = n.cfg.Topology.RouteAppend(r, port, w.packet.Dst, n.routeScratch[:0])
+	cands := n.routeScratch
 	if len(cands) == 0 {
 		n.kill(w, "unroutable")
 		return lane{}, false
@@ -238,12 +238,12 @@ func (n *Net) routeHead(r, port, vc int, w *worm, usedOut map[int]bool) (lane, b
 			// runs as the header begins to arrive. The NI ejects one
 			// flit per cycle but reassembles per virtual channel, so
 			// each ejection lane can hold a different worm.
-			if usedOut[cand] {
+			if rt.outUsed[cand] == n.cycle {
 				continue
 			}
 			out := lane{cand, -1}
 			for ej := 0; ej < vcs; ej++ {
-				if rt.owner[lane{cand, ej}] == nil {
+				if rt.owner[cand][ej] == nil {
 					out = lane{cand, ej}
 					break
 				}
@@ -260,10 +260,10 @@ func (n *Net) routeHead(r, port, vc int, w *worm, usedOut map[int]bool) (lane, b
 				n.kill(w, "rejected")
 				return lane{}, false
 			}
-			rt.owner[out] = w
+			rt.owner[out.port][out.vc] = w
 			rt.route[w.id] = out
-			rt.inputs[port][vc] = rt.inputs[port][vc][1:] // consume the head
-			usedOut[cand] = true
+			rt.inputs[port][vc].pop() // consume the head
+			rt.outUsed[cand] = n.cycle
 			n.stats.FlitMoves++
 			w.blocked = 0
 			return lane{}, false // head consumed; nothing more to move
@@ -275,14 +275,14 @@ func (n *Net) routeHead(r, port, vc int, w *worm, usedOut map[int]bool) (lane, b
 			if outVC == 0 && ci != 0 && n.cfg.Mode == Adaptive && vcs > 1 {
 				continue
 			}
+			if rt.owner[cand][outVC] != nil {
+				continue
+			}
+			if n.routers[peer].inputs[peerPort][outVC].len() >= n.cfg.BufferFlits {
+				continue
+			}
 			out := lane{cand, outVC}
-			if rt.owner[out] != nil {
-				continue
-			}
-			if len(n.routers[peer].inputs[peerPort][outVC]) >= n.cfg.BufferFlits {
-				continue
-			}
-			rt.owner[out] = w
+			rt.owner[out.port][out.vc] = w
 			rt.route[w.id] = out
 			return out, true
 		}
@@ -300,11 +300,12 @@ func (n *Net) noteBlocked(w *worm) {
 }
 
 // finishWorm completes delivery: the tail has been accepted, which in CR is
-// the end-to-end acknowledgement.
+// the end-to-end acknowledgement. The worm struct returns to the pool; its
+// payload buffer now belongs to the receiver.
 func (n *Net) finishWorm(r int, out lane, w *worm, node int) {
 	rt := &n.routers[r]
-	if rt.owner[out] == w {
-		delete(rt.owner, out)
+	if rt.owner[out.port][out.vc] == w {
+		rt.owner[out.port][out.vc] = nil
 	}
 	delete(rt.route, w.id)
 	w.state = wormDelivered
@@ -315,18 +316,20 @@ func (n *Net) finishWorm(r int, out lane, w *worm, node int) {
 	if latency > n.stats.LatencyMax {
 		n.stats.LatencyMax = latency
 	}
-	n.recvq[node] = append(n.recvq[node], w.packet)
+	n.recvq[node].push(w.packet)
 	n.queued[w.packet.Src]--
 	key := flowKey{w.packet.Src, w.packet.Dst}
 	if f := n.flows[key]; f != nil && f.active == w {
 		f.active = nil
 	}
+	n.putWorm(w)
 }
 
 // kill tears down a worm's path everywhere — the CR path-release mechanism
 // (in non-CR modes it only fires on misroutes, which are topology bugs).
 // The worm retries after a backoff, re-entering its flow queue at the front
-// so transmission order is preserved; retry exhaustion fails the injection.
+// so transmission order is preserved; retry exhaustion fails the injection
+// and recycles the worm and its payload buffer.
 func (n *Net) kill(w *worm, reason string) {
 	if w.state == wormKilled || w.state == wormFailed {
 		return
@@ -340,18 +343,12 @@ func (n *Net) kill(w *worm, reason string) {
 		rt := &n.routers[r]
 		for port := range rt.inputs {
 			for vc := range rt.inputs[port] {
-				buf := rt.inputs[port][vc][:0]
-				for _, fl := range rt.inputs[port][vc] {
-					if fl.worm != w {
-						buf = append(buf, fl)
-					}
-				}
-				rt.inputs[port][vc] = buf
+				rt.inputs[port][vc].filterWorm(w)
 			}
 		}
 		if out, ok := rt.route[w.id]; ok {
-			if rt.owner[out] == w {
-				delete(rt.owner, out)
+			if rt.owner[out.port][out.vc] == w {
+				rt.owner[out.port][out.vc] = nil
 			}
 			delete(rt.route, w.id)
 		}
@@ -370,6 +367,8 @@ func (n *Net) kill(w *worm, reason string) {
 		n.stats.FailedWorms++
 		n.queued[w.packet.Src]--
 		n.stats.Dropped++
+		n.putWords(w.packet.Data)
+		n.putWorm(w)
 		return
 	}
 	w.retries++
@@ -388,6 +387,6 @@ func (n *Net) kill(w *worm, reason string) {
 	jitter := w.id % uint64(n.cfg.RetryBackoff+1)
 	w.wakeAt = n.cycle + backoff + jitter
 	if f != nil {
-		f.queue = append([]*worm{w}, f.queue...)
+		f.pushFront(w)
 	}
 }

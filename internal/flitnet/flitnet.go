@@ -142,10 +142,60 @@ type lane struct {
 	port, vc int
 }
 
+// laneFIFO is the fixed-capacity flit ring backing one virtual channel of
+// one input port. Capacity is BufferFlits, allocated once at construction;
+// push and pop never allocate, unlike the slide-and-append slices they
+// replaced (whose backing arrays crawled forward one flit at a time,
+// reallocating every few cycles under load).
+type laneFIFO struct {
+	buf  []flit
+	head int
+	n    int
+}
+
+func (q *laneFIFO) len() int   { return q.n }
+func (q *laneFIFO) full() bool { return q.n == len(q.buf) }
+
+// front returns the flit at the head of the ring; call only when len > 0.
+func (q *laneFIFO) front() *flit { return &q.buf[q.head] }
+
+func (q *laneFIFO) push(f flit) {
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+}
+
+func (q *laneFIFO) pop() {
+	q.buf[q.head] = flit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+}
+
+// filterWorm removes every flit of w from the ring, preserving the order
+// of the rest — the kill sweep.
+func (q *laneFIFO) filterWorm(w *worm) {
+	kept := 0
+	for i := 0; i < q.n; i++ {
+		fl := q.buf[(q.head+i)%len(q.buf)]
+		if fl.worm == w {
+			continue
+		}
+		q.buf[(q.head+kept)%len(q.buf)] = fl
+		kept++
+	}
+	for i := kept; i < q.n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = flit{}
+	}
+	q.n = kept
+}
+
 type router struct {
-	inputs [][][]flit      // [port][vc] FIFO
-	owner  map[lane]*worm  // output lane -> owning worm
+	inputs [][]laneFIFO    // [port][vc] input buffer
+	owner  [][]*worm       // [port][vc] output lane -> owning worm
 	route  map[uint64]lane // worm id -> claimed output lane here
+	// outUsed[port] stamped with the current cycle means the physical
+	// link already carried a flit this cycle — the per-cycle map the
+	// route phase used to allocate, as a reusable scratch slice.
+	outUsed []uint64
 }
 
 type flowKey struct {
@@ -153,8 +203,39 @@ type flowKey struct {
 }
 
 type flow struct {
-	queue  []*worm // worms awaiting injection, in order
-	active *worm   // the worm currently entering the network (CR: at most one in flight)
+	queue  []*worm // worms awaiting injection, in order; head indexes the front
+	head   int
+	active *worm // the worm currently entering the network (CR: at most one in flight)
+}
+
+func (f *flow) pending() int { return len(f.queue) - f.head }
+
+func (f *flow) front() *worm { return f.queue[f.head] }
+
+func (f *flow) popFront() *worm {
+	w := f.queue[f.head]
+	f.queue[f.head] = nil
+	f.head++
+	if f.head == len(f.queue) {
+		f.queue = f.queue[:0]
+		f.head = 0
+	}
+	return w
+}
+
+func (f *flow) pushBack(w *worm) { f.queue = append(f.queue, w) }
+
+// pushFront re-queues a killed worm at the front, reusing the popped slot
+// when one exists so retries do not reallocate the queue.
+func (f *flow) pushFront(w *worm) {
+	if f.head > 0 {
+		f.head--
+		f.queue[f.head] = w
+		return
+	}
+	f.queue = append(f.queue, nil)
+	copy(f.queue[1:], f.queue)
+	f.queue[0] = w
 }
 
 // Stats extends the behavioral substrate counters with flit-level detail.
@@ -179,6 +260,33 @@ func (s Stats) MeanLatency() float64 {
 	return float64(s.LatencySum) / float64(s.LatencyCount)
 }
 
+// pktQueue is a per-node delivery queue that recycles its backing array:
+// popping advances a head index instead of re-slicing, and a drained queue
+// rewinds to reuse its capacity, so steady-state delivery allocates
+// nothing.
+type pktQueue struct {
+	buf  []network.Packet
+	head int
+}
+
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+func (q *pktQueue) push(p network.Packet) { q.buf = append(q.buf, p) }
+
+func (q *pktQueue) pop() (network.Packet, bool) {
+	if q.head == len(q.buf) {
+		return network.Packet{}, false
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = network.Packet{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p, true
+}
+
 // Net is the flit-level network. It implements network.Network (injection
 // may backpressure; packets appear at TryRecv once their tail is accepted)
 // plus Tick to advance simulated time.
@@ -187,14 +295,25 @@ type Net struct {
 	routers   []router
 	flows     map[flowKey]*flow
 	order     []flowKey // deterministic iteration order for flows
-	recvq     [][]network.Packet
+	recvq     []pktQueue
 	accepts   []network.Acceptor
 	nextID    uint64
 	cycle     uint64
 	stats     Stats
-	queued    map[int]int   // worms queued or active per node, for backpressure
-	injecting map[int]*worm // the worm currently occupying each node's send path
-	inflight  int           // worms injecting or traveling
+	queued    []int   // worms queued or active per node, for backpressure
+	injecting []*worm // the worm currently occupying each node's send path
+	inflight  int     // worms injecting or traveling
+	// injMark[node] stamped with the current cycle means the node already
+	// injected a flit this cycle (the inject phase's former per-tick map).
+	injMark []uint64
+	// wormPool and wordPool recycle worm structs and payload buffers:
+	// worms return on delivery or failure, payload buffers only on
+	// failure (a delivered payload escapes to the receiver via TryRecv).
+	wormPool []*worm
+	wordPool [][]network.Word
+	// routeScratch is the reusable candidate buffer handed to
+	// Topology.RouteAppend, one head routing at a time.
+	routeScratch []int
 }
 
 // New builds the network.
@@ -235,25 +354,33 @@ func New(cfg Config) (*Net, error) {
 	if cfg.Mode == CR {
 		cfg.VirtualChannels = 1 // CR worms own their path end to end
 	}
+	nodes := cfg.Topology.Nodes()
 	n := &Net{
 		cfg:       cfg,
 		routers:   make([]router, cfg.Topology.NumRouters()),
 		flows:     make(map[flowKey]*flow),
-		recvq:     make([][]network.Packet, cfg.Topology.Nodes()),
-		accepts:   make([]network.Acceptor, cfg.Topology.Nodes()),
-		queued:    make(map[int]int),
-		injecting: make(map[int]*worm),
+		recvq:     make([]pktQueue, nodes),
+		accepts:   make([]network.Acceptor, nodes),
+		queued:    make([]int, nodes),
+		injecting: make([]*worm, nodes),
+		injMark:   make([]uint64, nodes),
 	}
 	for r := range n.routers {
 		ports := cfg.Topology.Ports(r)
-		inputs := make([][][]flit, ports)
+		inputs := make([][]laneFIFO, ports)
+		owner := make([][]*worm, ports)
 		for p := range inputs {
-			inputs[p] = make([][]flit, cfg.VirtualChannels)
+			inputs[p] = make([]laneFIFO, cfg.VirtualChannels)
+			for v := range inputs[p] {
+				inputs[p][v].buf = make([]flit, cfg.BufferFlits)
+			}
+			owner[p] = make([]*worm, cfg.VirtualChannels)
 		}
 		n.routers[r] = router{
-			inputs: inputs,
-			owner:  make(map[lane]*worm),
-			route:  make(map[uint64]lane),
+			inputs:  inputs,
+			owner:   owner,
+			route:   make(map[uint64]lane),
+			outUsed: make([]uint64, ports),
 		}
 	}
 	return n, nil
@@ -301,11 +428,12 @@ func (n *Net) Inject(p network.Packet) error {
 		n.stats.Backpressure++
 		return network.ErrBackpressure
 	}
-	data := make([]network.Word, len(p.Data))
+	data := n.getWords(len(p.Data))
 	copy(data, p.Data)
 	p.Data = data
 
-	w := &worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle}
+	w := n.getWorm()
+	*w = worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle}
 	n.nextID++
 	w.flits = n.wormFlits(p)
 	key := flowKey{p.Src, p.Dst}
@@ -315,7 +443,7 @@ func (n *Net) Inject(p network.Packet) error {
 		n.flows[key] = f
 		n.order = append(n.order, key)
 	}
-	f.queue = append(f.queue, w)
+	f.pushBack(w)
 	n.queued[p.Src]++
 	n.stats.Injected++
 	return nil
@@ -339,11 +467,13 @@ func (n *Net) wormFlits(p network.Packet) int {
 
 // TryRecv implements network.Network.
 func (n *Net) TryRecv(node int) (network.Packet, bool) {
-	if node < 0 || node >= n.Nodes() || len(n.recvq[node]) == 0 {
+	if node < 0 || node >= n.Nodes() {
 		return network.Packet{}, false
 	}
-	p := n.recvq[node][0]
-	n.recvq[node] = n.recvq[node][1:]
+	p, ok := n.recvq[node].pop()
+	if !ok {
+		return network.Packet{}, false
+	}
 	n.stats.Delivered++
 	return p, true
 }
@@ -353,12 +483,53 @@ func (n *Net) TryRecv(node int) (network.Packet, bool) {
 func (n *Net) Pending() int {
 	count := n.inflight
 	for _, f := range n.flows {
-		count += len(f.queue)
+		count += f.pending()
 	}
-	for _, q := range n.recvq {
-		count += len(q)
+	for i := range n.recvq {
+		count += n.recvq[i].len()
 	}
 	return count
+}
+
+// getWorm takes a worm from the pool, or allocates when it is empty. The
+// caller overwrites every field.
+func (n *Net) getWorm() *worm {
+	if m := len(n.wormPool); m > 0 {
+		w := n.wormPool[m-1]
+		n.wormPool[m-1] = nil
+		n.wormPool = n.wormPool[:m-1]
+		return w
+	}
+	return new(worm)
+}
+
+// putWorm returns a finished worm to the pool, dropping its payload
+// reference so a delivered buffer is not pinned by the pool.
+func (n *Net) putWorm(w *worm) {
+	w.packet = network.Packet{}
+	n.wormPool = append(n.wormPool, w)
+}
+
+// getWords takes a payload buffer of the given length from the pool. All
+// pooled buffers were allocated at PacketWords capacity, so any valid
+// payload length fits.
+func (n *Net) getWords(need int) []network.Word {
+	if m := len(n.wordPool); m > 0 {
+		buf := n.wordPool[m-1]
+		n.wordPool[m-1] = nil
+		n.wordPool = n.wordPool[:m-1]
+		return buf[:need]
+	}
+	return make([]network.Word, need, n.cfg.PacketWords)
+}
+
+// putWords reclaims a payload buffer. Only undelivered payloads come back:
+// a delivered packet's buffer belongs to the receiver.
+func (n *Net) putWords(buf []network.Word) {
+	if cap(buf) < n.cfg.PacketWords {
+		return // not one of ours
+	}
+	n.wordPool = append(n.wordPool, buf[:0])
 }
 
 // Stats implements network.Network.

@@ -1,0 +1,123 @@
+package perfreg
+
+import (
+	"testing"
+
+	"msglayer/internal/flitnet"
+	"msglayer/internal/network"
+	"msglayer/internal/sim"
+	"msglayer/internal/topology"
+)
+
+// BenchResult is one allocation benchmark recorded via testing.Benchmark.
+// AllocsPerOp is the gated number: the simulator's hot paths promise a
+// steady state that allocates nothing, and any PR that breaks the promise
+// fails the compare. NsPerOp and BytesPerOp are informational — wall time
+// is machine noise, and byte counts shift with Go runtime versions.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// recordBenches runs the allocation benchmarks the PR gate tracks: the
+// flit simulator's steady-state tick and the event kernel's
+// schedule/cancel/fire churn. testing.Benchmark scales the op counts the
+// same way `go test -bench` does, so a recording costs about a wall-clock
+// second per bench.
+func recordBenches() []BenchResult {
+	return []BenchResult{
+		benchResult("flitnet-tick-steady", benchFlitnetTick),
+		benchResult("sim-kernel-churn", benchKernelChurn),
+	}
+}
+
+func benchResult(name string, fn func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(fn)
+	return BenchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchFlitnetTick is the exported-API twin of the flitnet package's
+// BenchmarkTickOnce: one simulator cycle plus receive drain with worms in
+// flight on the canonical 16-node fat tree. Re-seeding when the network
+// drains happens outside the timer, so allocs/op covers the tick and
+// receive paths alone.
+func benchFlitnetTick(b *testing.B) {
+	net, err := flitnet.New(flitnet.Config{Topology: topology.MustFatTree(4, 2), Mode: flitnet.Adaptive})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []network.Word{1, 2, 3, 4}
+	inflight := 0
+	drain := func() {
+		for node := 0; node < 16; node++ {
+			for {
+				if _, ok := net.TryRecv(node); !ok {
+					break
+				}
+				inflight--
+			}
+		}
+	}
+	reseed := func() {
+		for src := 0; src < 16; src++ {
+			if net.Inject(network.Packet{Src: src, Dst: 15 - src, Data: payload}) == nil {
+				inflight++
+			}
+		}
+	}
+	reseed()
+	// Warm the pools and flow tables before measuring.
+	for i := 0; i < 2000; i++ {
+		net.Tick(1)
+		drain()
+		if inflight == 0 {
+			reseed()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Tick(1)
+		drain()
+		if inflight == 0 {
+			b.StopTimer()
+			reseed()
+			b.StartTimer()
+		}
+	}
+}
+
+// noopEvent is package-level so scheduling it allocates no closure.
+var noopEvent = func(sim.Time) {}
+
+// benchKernelChurn is the exported-API twin of the sim package's
+// BenchmarkKernelChurn: schedule a window of events, cancel half, fire the
+// rest — the protocol-timer churn the value-based heap keeps free of
+// allocation.
+func benchKernelChurn(b *testing.B) {
+	k := sim.NewKernel()
+	const window = 64
+	handles := make([]sim.Handle, 0, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles = append(handles, k.After(sim.Time(i%16)+1, noopEvent))
+		if len(handles) == window {
+			for j, h := range handles {
+				if j%2 == 0 {
+					k.Cancel(h)
+				}
+			}
+			handles = handles[:0]
+			for k.Step() {
+			}
+		}
+	}
+}

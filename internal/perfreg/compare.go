@@ -20,7 +20,9 @@ type CompareOptions struct {
 	Confidence float64
 	// SimOnly skips the host-metric comparison entirely — the mode CI
 	// uses, where wall-clock numbers from different machines are
-	// meaningless but instruction counts must match exactly.
+	// meaningless but instruction counts must match exactly. The
+	// allocation benchmarks still gate: allocs/op is deterministic on any
+	// machine.
 	SimOnly bool
 }
 
@@ -74,6 +76,17 @@ func Compare(oldSnap, newSnap *Snapshot, opt CompareOptions) (*Report, error) {
 			oldSnap.Words, newSnap.Words, oldSnap.NetloadCycles, newSnap.NetloadCycles)
 	}
 	rep := &Report{Pass: true}
+	// Host samples recorded at different worker counts are incomparable —
+	// parallel repetitions time scheduler contention along with the work —
+	// so the host gate only runs between same-parallelism snapshots.
+	compareHosts := !opt.SimOnly && oldSnap.parallelism() == newSnap.parallelism()
+	if !opt.SimOnly && !compareHosts {
+		rep.Deltas = append(rep.Deltas, Delta{
+			Scenario: "-", Metric: "-", Kind: "host", OK: true,
+			Note: fmt.Sprintf("host metrics not gated: snapshots recorded at parallelism %d vs %d",
+				oldSnap.parallelism(), newSnap.parallelism()),
+		})
+	}
 	newByName := make(map[string]*ScenarioResult, len(newSnap.Scenarios))
 	for i := range newSnap.Scenarios {
 		newByName[newSnap.Scenarios[i].Name] = &newSnap.Scenarios[i]
@@ -86,10 +99,11 @@ func Compare(oldSnap, newSnap *Snapshot, opt CompareOptions) (*Report, error) {
 			continue
 		}
 		compareSim(rep, o, n)
-		if !opt.SimOnly {
+		if compareHosts {
 			compareHost(rep, o, n, opt)
 		}
 	}
+	compareBenches(rep, oldSnap.Benches, newSnap.Benches)
 	return rep, nil
 }
 
@@ -174,6 +188,50 @@ func compareHost(rep *Report, o, n *ScenarioResult, opt CompareOptions) {
 			d.OK = true
 			d.Note = fmt.Sprintf("~ %+.1f%% (p=%.3f)", 100*d.Frac, p)
 			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+}
+
+// compareBenches gates the allocation benchmarks: allocs/op must not grow.
+// Unlike the noisy host wall clock, allocs/op is deterministic for these
+// steady-state loops, so the gate is exact — any increase fails, on any
+// machine. Benchmarks absent from the old snapshot (recorded by an older
+// schema) are informational only.
+func compareBenches(rep *Report, oldB, newB []BenchResult) {
+	newByName := make(map[string]BenchResult, len(newB))
+	for _, b := range newB {
+		newByName[b.Name] = b
+	}
+	for _, o := range oldB {
+		n, ok := newByName[o.Name]
+		d := Delta{Scenario: "bench", Metric: o.Name, Kind: "bench", Old: float64(o.AllocsPerOp)}
+		if !ok {
+			d.Note = "bench missing from new snapshot"
+			rep.fail(d)
+			continue
+		}
+		d.New = float64(n.AllocsPerOp)
+		d.Frac = frac(d.Old, d.New)
+		if n.AllocsPerOp > o.AllocsPerOp {
+			d.Note = fmt.Sprintf("ALLOC REGRESSION %d -> %d allocs/op", o.AllocsPerOp, n.AllocsPerOp)
+			rep.fail(d)
+			continue
+		}
+		d.OK = true
+		d.Note = fmt.Sprintf("%d allocs/op (old %d), %.0f ns/op (not gated)", n.AllocsPerOp, o.AllocsPerOp, n.NsPerOp)
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	oldNames := make(map[string]bool, len(oldB))
+	for _, o := range oldB {
+		oldNames[o.Name] = true
+	}
+	for _, n := range newB {
+		if !oldNames[n.Name] {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Scenario: "bench", Metric: n.Name, Kind: "bench",
+				New: float64(n.AllocsPerOp), OK: true,
+				Note: fmt.Sprintf("new bench (not gated): %d allocs/op, %.0f ns/op", n.AllocsPerOp, n.NsPerOp),
+			})
 		}
 	}
 }

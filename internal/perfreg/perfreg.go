@@ -12,9 +12,14 @@
 // the exact-equality gate, and any PR that slows the harness beyond the
 // noise fails the host gate.
 //
-// Like the simulator it drives, Record is single-threaded and must not run
-// concurrently with other experiment runs (it installs the experiments
-// package's global observer while collecting sim metrics).
+// Record must not run concurrently with other experiment runs (it installs
+// the experiments package's global observer while collecting sim metrics).
+// Within a Record call the timed repetitions of each scenario may fan
+// across a worker pool (RecordConfig.Parallel); the observed sim-metric run
+// always stays serial, and snapshots recorded at different worker counts
+// gate their host metrics only against snapshots recorded at the same
+// count, because parallel repetitions time scheduler contention along with
+// the work.
 package perfreg
 
 import (
@@ -29,14 +34,20 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
 )
 
 // SchemaVersion identifies the snapshot layout; bump on incompatible
-// changes.
-const SchemaVersion = 1
+// changes. Version 2 added the parallelism stamp and the allocation
+// benchmark section; version 1 snapshots still load (the new sections are
+// simply absent, and absent sections are not gated).
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest snapshot layout this build still reads.
+const minSchemaVersion = 1
 
 // NetloadScenario names the flit-level sweep point recorded alongside the
 // protocol scenarios.
@@ -56,8 +67,24 @@ type Snapshot struct {
 	// Words is the transfer size the protocol scenarios ran with.
 	Words int `json:"words"`
 	// NetloadCycles is the measurement length of the flit-level point.
-	NetloadCycles int              `json:"netload_cycles"`
-	Scenarios     []ScenarioResult `json:"scenarios"`
+	NetloadCycles int `json:"netload_cycles"`
+	// Parallel is the worker count the timed repetitions ran under; host
+	// metrics only gate between snapshots recorded at the same count.
+	// Absent (schema 1) means serial.
+	Parallel  int              `json:"parallel,omitempty"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	// Benches holds the allocation benchmarks (schema 2); allocs/op gates
+	// at no-regression.
+	Benches []BenchResult `json:"benches,omitempty"`
+}
+
+// parallelism normalizes the recorded worker count; snapshots from before
+// the field existed were recorded serially.
+func (s *Snapshot) parallelism() int {
+	if s.Parallel < 1 {
+		return 1
+	}
+	return s.Parallel
 }
 
 // ScenarioResult is one scenario's recorded metrics.
@@ -88,6 +115,12 @@ type RecordConfig struct {
 	Words int
 	// NetloadCycles is the flit-level measurement length (default 1000).
 	NetloadCycles int
+	// Parallel is the worker count for the timed repetitions (values below
+	// 1 select GOMAXPROCS; 1 is the serial recording older snapshots used).
+	Parallel int
+	// SkipBenches omits the allocation benchmarks, which cost a couple of
+	// wall-clock seconds per recording.
+	SkipBenches bool
 	// Timestamp, when non-empty, is stored as CreatedAt.
 	Timestamp string
 }
@@ -111,6 +144,7 @@ func (c *RecordConfig) defaults() {
 // so nondeterminism is caught at record time rather than at the gate.
 func Record(cfg RecordConfig) (*Snapshot, error) {
 	cfg.defaults()
+	workers := parsweep.Workers(cfg.Parallel)
 	snap := &Snapshot{
 		Schema:        SchemaVersion,
 		Label:         cfg.Label,
@@ -121,25 +155,30 @@ func Record(cfg RecordConfig) (*Snapshot, error) {
 		Reps:          cfg.Reps,
 		Words:         cfg.Words,
 		NetloadCycles: cfg.NetloadCycles,
+		Parallel:      workers,
 	}
 	for _, name := range experiments.CanonicalScenarios() {
-		res, err := recordProtocolScenario(name, cfg.Words, cfg.Reps)
+		res, err := recordProtocolScenario(name, cfg.Words, cfg.Reps, workers)
 		if err != nil {
 			return nil, fmt.Errorf("perfreg: %s: %w", name, err)
 		}
 		snap.Scenarios = append(snap.Scenarios, *res)
 	}
-	res, err := recordNetloadScenario(cfg.NetloadCycles, cfg.Reps)
+	res, err := recordNetloadScenario(cfg.NetloadCycles, cfg.Reps, workers)
 	if err != nil {
 		return nil, fmt.Errorf("perfreg: %s: %w", NetloadScenario, err)
 	}
 	snap.Scenarios = append(snap.Scenarios, *res)
+	if !cfg.SkipBenches {
+		snap.Benches = recordBenches()
+	}
 	return snap, nil
 }
 
 // recordProtocolScenario records one canonical protocol scenario.
-func recordProtocolScenario(name string, words, reps int) (*ScenarioResult, error) {
-	// Observed run: sim metrics, excluded from timing.
+func recordProtocolScenario(name string, words, reps, workers int) (*ScenarioResult, error) {
+	// Observed run: sim metrics, excluded from timing. Always serial — it
+	// mutates the experiments package's global observer.
 	hub := obs.NewHub()
 	experiments.SetObserver(hub)
 	cells, err := experiments.RunCanonical(name, words)
@@ -155,35 +194,69 @@ func recordProtocolScenario(name string, words, reps int) (*ScenarioResult, erro
 	}
 
 	res := &ScenarioResult{Name: name, Sim: sim}
-	for rep := 0; rep < reps; rep++ {
-		again, err := timed(&res.Host, func() (report.Cells, error) {
-			return experiments.RunCanonical(name, words)
-		})
+	err = timedReps(&res.Host, reps, workers, func(rep int) error {
+		again, err := experiments.RunCanonical(name, words)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !cellsEqual(cells, again) {
-			return nil, fmt.Errorf("rep %d produced different instruction cells — scenario is nondeterministic", rep+1)
+			return fmt.Errorf("rep %d produced different instruction cells — scenario is nondeterministic", rep+1)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
-// timed runs fn once, appending wall-clock and allocation samples.
-func timed[T any](host *HostSamples, fn func() (T, error)) (T, error) {
+// timedReps collects reps wall-clock and allocation samples of fn. Serially
+// every repetition measures its own runtime.MemStats delta, exactly like
+// the loop this generalizes. With workers > 1 the repetitions fan across a
+// pool: wall clock stays per-repetition (and includes scheduler
+// contention), but MemStats is process-global, so the allocation samples
+// become the whole fan's delta averaged per repetition — the mean the gate
+// compares is unchanged; only the per-rep variance is lost.
+func timedReps(host *HostSamples, reps, workers int, fn func(rep int) error) error {
+	if workers <= 1 {
+		for rep := 0; rep < reps; rep++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			if err := fn(rep); err != nil {
+				return err
+			}
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			host.WallNS = append(host.WallNS, float64(wall.Nanoseconds()))
+			host.Allocs = append(host.Allocs, float64(after.Mallocs-before.Mallocs))
+			host.AllocBytes = append(host.AllocBytes, float64(after.TotalAlloc-before.TotalAlloc))
+		}
+		return nil
+	}
+	wall := make([]float64, reps)
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
-	out, err := fn()
-	wall := time.Since(start)
+	err := parsweep.Run(workers, reps, func(rep int) error {
+		start := time.Now()
+		if err := fn(rep); err != nil {
+			return err
+		}
+		wall[rep] = float64(time.Since(start).Nanoseconds())
+		return nil
+	})
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return out, err
+		return err
 	}
-	host.WallNS = append(host.WallNS, float64(wall.Nanoseconds()))
-	host.Allocs = append(host.Allocs, float64(after.Mallocs-before.Mallocs))
-	host.AllocBytes = append(host.AllocBytes, float64(after.TotalAlloc-before.TotalAlloc))
-	return out, nil
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(reps)
+	bytes := float64(after.TotalAlloc-before.TotalAlloc) / float64(reps)
+	for rep := 0; rep < reps; rep++ {
+		host.WallNS = append(host.WallNS, wall[rep])
+		host.Allocs = append(host.Allocs, allocs)
+		host.AllocBytes = append(host.AllocBytes, bytes)
+	}
+	return nil
 }
 
 // simFromCells flattens a role × feature × category breakdown into the
@@ -242,22 +315,24 @@ func featureSlug(f cost.Feature) string {
 // recordNetloadScenario records the flit-level sweep point: a 4-ary 2-level
 // fat tree under uniform traffic at offered load 0.1, for all three routing
 // modes. The flit simulator is seeded, so its stats are deterministic.
-func recordNetloadScenario(cycles, reps int) (*ScenarioResult, error) {
+func recordNetloadScenario(cycles, reps, workers int) (*ScenarioResult, error) {
 	stats, err := runNetloadPoint(cycles)
 	if err != nil {
 		return nil, err
 	}
 	res := &ScenarioResult{Name: NetloadScenario, Sim: stats}
-	for rep := 0; rep < reps; rep++ {
-		again, err := timed(&res.Host, func() (map[string]uint64, error) {
-			return runNetloadPoint(cycles)
-		})
+	err = timedReps(&res.Host, reps, workers, func(rep int) error {
+		again, err := runNetloadPoint(cycles)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !mapsEqual(stats, again) {
-			return nil, fmt.Errorf("rep %d produced different flit stats — sweep point is nondeterministic", rep+1)
+			return fmt.Errorf("rep %d produced different flit stats — sweep point is nondeterministic", rep+1)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -363,8 +438,9 @@ func ReadFile(path string) (*Snapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("perfreg: %s: %w", path, err)
 	}
-	if s.Schema != SchemaVersion {
-		return nil, fmt.Errorf("perfreg: %s: schema %d, this build reads %d", path, s.Schema, SchemaVersion)
+	if s.Schema < minSchemaVersion || s.Schema > SchemaVersion {
+		return nil, fmt.Errorf("perfreg: %s: schema %d, this build reads %d through %d",
+			path, s.Schema, minSchemaVersion, SchemaVersion)
 	}
 	return &s, nil
 }

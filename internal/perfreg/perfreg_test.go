@@ -6,9 +6,11 @@ import (
 	"testing"
 )
 
-// tinyConfig keeps recording fast in tests.
+// tinyConfig keeps recording fast in tests: few reps, small transfers, and
+// no allocation benchmarks (those get their own smoke test). Parallel is
+// left at the GOMAXPROCS default so the suite exercises the fanned path.
 func tinyConfig() RecordConfig {
-	return RecordConfig{Label: "test", Reps: 2, Words: 16, NetloadCycles: 100}
+	return RecordConfig{Label: "test", Reps: 2, Words: 16, NetloadCycles: 100, SkipBenches: true}
 }
 
 // record is a cached tiny snapshot so the suite pays for one recording.
@@ -168,6 +170,134 @@ func TestPerfregIncomparableSnapshots(t *testing.T) {
 	other.Words = s.Words + 1
 	if _, err := Compare(s, other, CompareOptions{}); err == nil {
 		t.Fatal("snapshots with different words compared without error")
+	}
+}
+
+func TestPerfregSerialRecordingMatchesParallel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Parallel = 1
+	serial, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := recordOnce(t)
+	rep, err := Compare(serial, s, CompareOptions{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("parallel recording drifted from serial sim metrics:\n%s", rep)
+	}
+}
+
+func TestPerfregBenchGate(t *testing.T) {
+	s := recordOnce(t)
+	old := clone(t, s)
+	old.Benches = []BenchResult{{Name: "flitnet-tick-steady", NsPerOp: 1000, AllocsPerOp: 0}}
+
+	// Slower but allocation-free: ns/op is not gated.
+	slower := clone(t, s)
+	slower.Benches = []BenchResult{{Name: "flitnet-tick-steady", NsPerOp: 5000, AllocsPerOp: 0}}
+	rep, err := Compare(old, slower, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("ns/op growth failed the gate:\n%s", rep)
+	}
+
+	// One new allocation per op: fails, on any machine.
+	leaky := clone(t, s)
+	leaky.Benches = []BenchResult{{Name: "flitnet-tick-steady", NsPerOp: 900, AllocsPerOp: 1}}
+	rep, err = Compare(old, leaky, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("allocs/op regression passed the gate:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "ALLOC REGRESSION") {
+		t.Fatalf("report does not call out the allocation regression:\n%s", rep)
+	}
+
+	// A bench the old snapshot tracked must not silently disappear.
+	gone := clone(t, s)
+	rep, err = Compare(old, gone, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("dropped bench passed the gate")
+	}
+
+	// Benches absent from the old snapshot (schema 1) are informational.
+	rep, err = Compare(gone, slower, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("new bench failed against a bench-less baseline:\n%s", rep)
+	}
+}
+
+func TestPerfregParallelMismatchSkipsHostGate(t *testing.T) {
+	s := recordOnce(t)
+	base := clone(t, s)
+	base.Parallel = 1
+	for i := range base.Scenarios {
+		base.Scenarios[i].Host.WallNS = []float64{1000, 1001, 1002, 999, 998}
+	}
+	slow := clone(t, s)
+	slow.Parallel = 4
+	for i := range slow.Scenarios {
+		slow.Scenarios[i].Host.WallNS = []float64{1500, 1501, 1502, 1499, 1498}
+	}
+	rep, err := Compare(base, slow, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("host gate fired across different recording parallelism:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "host metrics not gated") {
+		t.Fatalf("report does not explain the skipped host gate:\n%s", rep)
+	}
+}
+
+func TestPerfregRecordBenchesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmarks take a couple of seconds")
+	}
+	benches := recordBenches()
+	if len(benches) != 2 {
+		t.Fatalf("got %d benches, want 2", len(benches))
+	}
+	for _, b := range benches {
+		if b.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op (%d B/op), want 0 — a hot path regressed", b.Name, b.AllocsPerOp, b.BytesPerOp)
+		}
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", b.Name, b.NsPerOp)
+		}
+	}
+}
+
+func TestPerfregSchema1Accepted(t *testing.T) {
+	s := recordOnce(t)
+	v1 := clone(t, s)
+	v1.Schema = 1
+	v1.Parallel = 0
+	v1.Benches = nil
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := v1.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("schema-1 snapshot rejected: %v", err)
+	}
+	if loaded.parallelism() != 1 {
+		t.Fatalf("legacy snapshot parallelism = %d, want 1", loaded.parallelism())
 	}
 }
 

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// noopEvent is package-level so scheduling it allocates no closure.
+var noopEvent = func(Time) {}
+
+// BenchmarkKernelChurn measures the schedule/cancel/fire cycle the protocol
+// timers exercise: a window of events is scheduled, half are cancelled, and
+// the rest fire. The kernel's value-based heap and slot recycling make the
+// steady state allocation-free.
+func BenchmarkKernelChurn(b *testing.B) {
+	k := NewKernel()
+	const window = 64
+	handles := make([]Handle, 0, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles = append(handles, k.After(Time(i%16)+1, noopEvent))
+		if len(handles) == window {
+			for j, h := range handles {
+				if j%2 == 0 {
+					k.Cancel(h)
+				}
+			}
+			handles = handles[:0]
+			for k.Step() {
+			}
+		}
+	}
+}
+
+// BenchmarkKernelSchedule measures pure scheduling plus draining — the
+// no-cancellation path.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Time(i%32)+1, noopEvent)
+		if i%64 == 63 {
+			for k.Step() {
+			}
+		}
+	}
+	for k.Step() {
+	}
+}

@@ -1,10 +1,14 @@
 // Package sim provides a small deterministic discrete-event simulation
-// kernel used by the flit-level network simulator. Events fire in
-// (time, sequence) order, so two runs of the same configuration produce
-// identical traces.
+// kernel. Events fire in (time, sequence) order, so two runs of the same
+// configuration produce identical traces.
+//
+// The kernel is allocation-free on its hot paths: events live in a
+// value-based slice heap (no per-event boxing through container/heap), and
+// handles are generation-counted slot references rather than pointers, so
+// cancelling an event releases its closure immediately instead of pinning
+// it until the entry percolates out of the queue. Dead entries are
+// compacted eagerly once they outnumber the live ones.
 package sim
-
-import "container/heap"
 
 // Time is simulated time in abstract cycles.
 type Time uint64
@@ -12,60 +16,45 @@ type Time uint64
 // Event is a callback scheduled to run at a point in simulated time.
 type Event func(now Time)
 
+// entry is one scheduled event, stored by value in the heap slice.
 type entry struct {
-	at    Time
-	seq   uint64
-	fire  Event
-	index int
-	dead  bool
+	at   Time
+	seq  uint64
+	fire Event
+	slot int32 // index into Kernel.slots
+	dead bool
 }
 
-type eventQueue []*entry
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// slotInfo is the handle table's record of one entry: where it currently
+// sits in the heap and which generation of the slot it belongs to. Slots
+// are recycled through a free list once their entry fires or is collected;
+// the generation counter makes stale handles inert.
+type slotInfo struct {
+	gen       uint32
+	pos       int32 // heap index, -1 once the entry left the queue
+	cancelled bool
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*entry)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+// compactMinDead is the floor below which dead entries are left for the
+// normal pop path to absorb: compacting a near-empty queue would thrash.
+const compactMinDead = 8
 
 // Kernel is a deterministic event queue. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
-	queue eventQueue
+	queue []entry
+	slots []slotInfo
+	free  []int32 // recycled slot indices
 	now   Time
 	seq   uint64
 	steps uint64
+	live  int // scheduled, uncancelled, unfired events
+	dead  int // cancelled entries still occupying heap positions
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.queue)
-	return k
+	return &Kernel{}
 }
 
 // Now returns the current simulated time.
@@ -74,22 +63,28 @@ func (k *Kernel) Now() Time { return k.now }
 // Steps returns the number of events executed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
 
-// Pending returns the number of events waiting to fire.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.queue {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
+// Pending returns the number of events waiting to fire. It is O(1): the
+// kernel maintains the live count across schedule, cancel, and fire.
+func (k *Kernel) Pending() int { return k.live }
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to nothing.
+type Handle struct {
+	k    *Kernel
+	slot int32
+	gen  uint32
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ e *entry }
-
-// Cancelled reports whether the handle's event was cancelled.
-func (h Handle) Cancelled() bool { return h.e != nil && h.e.dead }
+// Cancelled reports whether the handle's event was cancelled and its entry
+// not yet collected by the kernel. Once the kernel collects the dead entry
+// (on pop or compaction) the handle goes stale and reports false.
+func (h Handle) Cancelled() bool {
+	if h.k == nil || h.slot < 0 || int(h.slot) >= len(h.k.slots) {
+		return false
+	}
+	sl := &h.k.slots[h.slot]
+	return sl.gen == h.gen && sl.cancelled
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t less
 // than Now) fires the event at the current time instead; the kernel never
@@ -98,10 +93,14 @@ func (k *Kernel) At(t Time, fn Event) Handle {
 	if t < k.now {
 		t = k.now
 	}
-	e := &entry{at: t, seq: k.seq, fire: fn}
+	s := k.allocSlot()
+	i := len(k.queue)
+	k.queue = append(k.queue, entry{at: t, seq: k.seq, fire: fn, slot: s})
 	k.seq++
-	heap.Push(&k.queue, e)
-	return Handle{e}
+	k.slots[s].pos = int32(i)
+	k.live++
+	k.siftUp(i)
+	return Handle{k: k, slot: s, gen: k.slots[s].gen}
 }
 
 // After schedules fn to run d cycles from now.
@@ -109,22 +108,35 @@ func (k *Kernel) After(d Time, fn Event) Handle {
 	return k.At(k.now+d, fn)
 }
 
-// Cancel marks a scheduled event so it will not fire. Cancelling an
-// already-fired or already-cancelled event is a no-op.
+// Cancel marks a scheduled event so it will not fire and releases its
+// closure immediately. Cancelling an already-fired, already-cancelled, or
+// stale handle is a no-op.
 func (k *Kernel) Cancel(h Handle) {
-	if h.e != nil {
-		h.e.dead = true
+	if h.k != k || h.slot < 0 || int(h.slot) >= len(k.slots) {
+		return
 	}
+	sl := &k.slots[h.slot]
+	if sl.gen != h.gen || sl.cancelled || sl.pos < 0 {
+		return
+	}
+	sl.cancelled = true
+	k.queue[sl.pos].dead = true
+	k.queue[sl.pos].fire = nil // collectible now, not when popped
+	k.live--
+	k.dead++
+	k.maybeCompact()
 }
 
 // Step executes the single next event. It reports false when no live events
 // remain.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*entry)
+	for len(k.queue) > 0 {
+		e := k.popRoot()
 		if e.dead {
+			k.dead--
 			continue
 		}
+		k.live--
 		k.now = e.at
 		k.steps++
 		e.fire(k.now)
@@ -151,20 +163,135 @@ func (k *Kernel) Run(budget uint64) uint64 {
 // RunUntil executes events with firing times not later than deadline,
 // advancing Now to the deadline even if the queue drains early.
 func (k *Kernel) RunUntil(deadline Time) {
-	for k.queue.Len() > 0 {
-		// Peek: queue[0] is the earliest live or dead entry; dead entries
-		// must be popped regardless, but only live ones gate on time.
-		e := k.queue[0]
-		if e.dead {
-			heap.Pop(&k.queue)
+	for len(k.queue) > 0 {
+		// The root is the earliest live or dead entry; dead entries must be
+		// collected regardless, but only live ones gate on time.
+		if k.queue[0].dead {
+			k.popRoot()
+			k.dead--
 			continue
 		}
-		if e.at > deadline {
+		if k.queue[0].at > deadline {
 			break
 		}
 		k.Step()
 	}
 	if k.now < deadline {
 		k.now = deadline
+	}
+}
+
+// allocSlot takes a slot index from the free list, growing the table when
+// none are available. The slot keeps the generation its last free bumped.
+func (k *Kernel) allocSlot() int32 {
+	if n := len(k.free); n > 0 {
+		s := k.free[n-1]
+		k.free = k.free[:n-1]
+		return s
+	}
+	k.slots = append(k.slots, slotInfo{pos: -1})
+	return int32(len(k.slots) - 1)
+}
+
+// freeSlot retires a slot once its entry left the queue: the generation
+// bump makes every outstanding handle to it stale.
+func (k *Kernel) freeSlot(s int32) {
+	sl := &k.slots[s]
+	sl.gen++
+	sl.pos = -1
+	sl.cancelled = false
+	k.free = append(k.free, s)
+}
+
+// popRoot removes and returns the heap root, freeing its slot.
+func (k *Kernel) popRoot() entry {
+	e := k.queue[0]
+	last := len(k.queue) - 1
+	k.queue[0] = k.queue[last]
+	k.queue[last] = entry{} // release the moved-from closure reference
+	k.queue = k.queue[:last]
+	if last > 0 {
+		k.slots[k.queue[0].slot].pos = 0
+		k.siftDown(0)
+	}
+	k.freeSlot(e.slot)
+	return e
+}
+
+// maybeCompact collects dead entries eagerly once they exceed half the
+// queue, so a cancel-heavy workload cannot leave the heap dominated by
+// corpses that every sift has to wade through.
+func (k *Kernel) maybeCompact() {
+	if k.dead >= compactMinDead && k.dead*2 > len(k.queue) {
+		k.compact()
+	}
+}
+
+// compact filters dead entries out of the queue in place and rebuilds the
+// heap bottom-up (O(n), cheaper than n sifted deletions).
+func (k *Kernel) compact() {
+	w := 0
+	for i := range k.queue {
+		if k.queue[i].dead {
+			k.freeSlot(k.queue[i].slot)
+			continue
+		}
+		k.queue[w] = k.queue[i]
+		k.slots[k.queue[w].slot].pos = int32(w)
+		w++
+	}
+	for i := w; i < len(k.queue); i++ {
+		k.queue[i] = entry{}
+	}
+	k.queue = k.queue[:w]
+	k.dead = 0
+	for i := w/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
+	}
+}
+
+// less orders entries by (time, sequence); sequence numbers are unique, so
+// the order is total and deterministic.
+func (k *Kernel) less(i, j int) bool {
+	a, b := &k.queue[i], &k.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) swap(i, j int) {
+	k.queue[i], k.queue[j] = k.queue[j], k.queue[i]
+	k.slots[k.queue[i].slot].pos = int32(i)
+	k.slots[k.queue[j].slot].pos = int32(j)
+}
+
+func (k *Kernel) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(i, parent) {
+			return
+		}
+		k.swap(i, parent)
+		i = parent
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	n := len(k.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && k.less(right, left) {
+			least = right
+		}
+		if !k.less(least, i) {
+			return
+		}
+		k.swap(i, least)
+		i = least
 	}
 }

@@ -165,6 +165,80 @@ func TestKernelPending(t *testing.T) {
 	}
 }
 
+func TestKernelPendingTracksFires(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 10; i++ {
+		k.At(Time(i), func(Time) {})
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", k.Pending())
+	}
+	for want := 9; want >= 0; want-- {
+		k.Step()
+		if k.Pending() != want {
+			t.Fatalf("Pending after step = %d, want %d", k.Pending(), want)
+		}
+	}
+}
+
+// A stale handle — one whose event already fired and whose slot was
+// recycled for a newer event — must not cancel the newer event.
+func TestKernelStaleHandleIsInert(t *testing.T) {
+	k := NewKernel()
+	old := k.At(1, func(Time) {})
+	k.Run(0) // fires; the slot returns to the free list
+	fired := false
+	fresh := k.At(2, func(Time) { fired = true })
+	k.Cancel(old) // stale generation: must not touch the recycled slot
+	if fresh.Cancelled() || old.Cancelled() {
+		t.Fatal("stale cancel leaked into the recycled slot")
+	}
+	k.Run(0)
+	if !fired {
+		t.Fatal("stale handle cancelled a live event")
+	}
+}
+
+// Cancelling most of a large queue must compact it: dead entries may not
+// keep occupying heap slots until popped.
+func TestKernelCompactsDeadEntries(t *testing.T) {
+	k := NewKernel()
+	var handles []Handle
+	for i := 0; i < 1000; i++ {
+		handles = append(handles, k.At(Time(i+1), func(Time) {}))
+	}
+	for i, h := range handles {
+		if i%4 != 0 {
+			k.Cancel(h)
+		}
+	}
+	if len(k.queue) > 2*k.live {
+		t.Fatalf("queue holds %d entries for %d live events — dead entries not compacted", len(k.queue), k.live)
+	}
+	if k.Pending() != 250 {
+		t.Fatalf("Pending = %d, want 250", k.Pending())
+	}
+	fired := 0
+	for k.Step() {
+		fired++
+	}
+	if fired != 250 {
+		t.Fatalf("fired %d events, want the 250 uncancelled ones", fired)
+	}
+}
+
+// Cancellation releases the event closure immediately rather than pinning
+// it until the entry percolates out of the heap.
+func TestKernelCancelReleasesClosure(t *testing.T) {
+	k := NewKernel()
+	h := k.At(100, func(Time) { t.Error("cancelled event fired") })
+	k.Cancel(h)
+	if sl := k.slots[h.slot]; sl.pos >= 0 && k.queue[sl.pos].fire != nil {
+		t.Fatal("cancelled entry still holds its closure")
+	}
+	k.Run(0)
+}
+
 // Property: any set of scheduled times fires in nondecreasing sorted order,
 // regardless of insertion order.
 func TestKernelOrderingProperty(t *testing.T) {

@@ -141,22 +141,27 @@ func (t *FatTree) ancestor(l, w, dst int) bool {
 // (giving an in-order single path when routed deterministically) while the
 // full candidate set exposes the multipath structure to adaptive routing.
 func (t *FatTree) Route(router, inPort, dst int) []int {
+	return t.RouteAppend(router, inPort, dst, nil)
+}
+
+// RouteAppend implements Topology without allocating: candidates are
+// appended to buf.
+func (t *FatTree) RouteAppend(router, inPort, dst int, buf []int) []int {
 	if dst < 0 || dst >= t.nodes {
-		return nil
+		return buf
 	}
 	l, w := t.level(router), t.word(router)
 	if t.ancestor(l, w, dst) {
 		if l == 0 {
-			return []int{dst % t.k}
+			return append(buf, dst%t.k)
 		}
-		return []int{t.digit(dst/t.k, l-1)}
+		return append(buf, t.digit(dst/t.k, l-1))
 	}
-	ports := make([]int, t.k)
 	start := t.digit(dst, l)
 	for i := 0; i < t.k; i++ {
-		ports[i] = t.k + (start+i)%t.k
+		buf = append(buf, t.k+(start+i)%t.k)
 	}
-	return ports
+	return buf
 }
 
 var _ Topology = (*FatTree)(nil)

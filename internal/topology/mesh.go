@@ -102,8 +102,14 @@ func (m *Mesh) NodePort(node int) (router, port int) { return node, PortLocal }
 // productive Y hop appended as an adaptive alternative while X progress
 // remains.
 func (m *Mesh) Route(router, inPort, dst int) []int {
+	return m.RouteAppend(router, inPort, dst, nil)
+}
+
+// RouteAppend implements Topology without allocating: candidates are
+// appended to buf.
+func (m *Mesh) RouteAppend(router, inPort, dst int, buf []int) []int {
 	if dst < 0 || dst >= m.Nodes() {
-		return nil
+		return buf
 	}
 	x, y := m.XY(router)
 	dx, dy := m.XY(dst)
@@ -122,13 +128,13 @@ func (m *Mesh) Route(router, inPort, dst int) []int {
 	}
 	switch {
 	case xPort != 0 && yPort != 0:
-		return []int{xPort, yPort}
+		return append(buf, xPort, yPort)
 	case xPort != 0:
-		return []int{xPort}
+		return append(buf, xPort)
 	case yPort != 0:
-		return []int{yPort}
+		return append(buf, yPort)
 	default:
-		return []int{PortLocal}
+		return append(buf, PortLocal)
 	}
 }
 

@@ -36,6 +36,12 @@ type Topology interface {
 	// attached there, and never returns an empty slice for a reachable
 	// destination.
 	Route(router, inPort, dst int) []int
+	// RouteAppend is Route writing into a caller-provided buffer instead
+	// of allocating: candidates are appended to buf and the extended
+	// slice returned. Router hot paths call it once per head flit per
+	// cycle with a reusable scratch slice, so routing stays
+	// allocation-free.
+	RouteAppend(router, inPort, dst int, buf []int) []int
 }
 
 // DeterministicPath walks the first-candidate route from src to dst and

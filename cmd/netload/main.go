@@ -15,6 +15,9 @@
 //	netload -parallel 8                # fan the load/mode grid over 8 workers
 //	netload -metrics m.txt             # dump flit-level metrics ("-" = stdout)
 //	netload -trace-out t.json          # Chrome trace with one span per point
+//	netload -cpuprofile cpu.out        # pprof CPU profile of the sweep
+//	netload -memprofile mem.out        # pprof allocation profile at exit
+//	netload -dense                     # dense reference engine (baseline)
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/serve"
 	"msglayer/internal/parsweep"
+	"msglayer/internal/prof"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
@@ -43,7 +47,7 @@ func main() {
 }
 
 // run executes the tool; factored out of main for testing.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("netload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	topoArg := fs.String("topology", "fattree", "fattree or mesh")
@@ -63,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON, one span per measure point (\"-\" = stdout)")
 	serveAddr := fs.String("serve", "",
 		"serve live observability on this address (/metrics, /snapshot, /trace, /debug/pprof/) during the sweep, then until interrupted; SIGINT shuts down cleanly")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+	dense := fs.Bool("dense", false,
+		"use the retained dense reference engine (scan every lane every cycle) instead of the event-driven scheduler; results are byte-identical, only speed differs")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -80,6 +88,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "netload:", err)
 		return 1
+	}
+	// Profiles cover the whole run and finalize on every exit path; a
+	// profile that cannot be written is reported and removed, never left
+	// truncated (same contract as -metrics/-trace-out).
+	if *cpuProfile != "" {
+		stop, err := prof.StartCPU(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				code = 1
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memProfile); err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				code = 1
+			}
+		}()
 	}
 	mkTopo := func() (topology.Topology, error) {
 		switch *topoArg {
@@ -152,7 +184,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return err
 		}
-		thru, lat, st, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed)
+		thru, lat, st, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed, *dense)
 		if err != nil {
 			return err
 		}
@@ -215,14 +247,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // measure runs one (topology, mode, pattern, load) point and returns
 // delivered packets per node per kilocycle, the mean packet latency in
-// cycles, and the raw flit-level stats for the observability dump.
-func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64) (float64, float64, flitnet.Stats, error) {
+// cycles, and the raw flit-level stats for the observability dump. With
+// dense set it runs the retained dense reference engine; the numbers are
+// byte-identical either way (the differential tests hold the engines to
+// that), only the wall-clock cost differs.
+func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64, dense bool) (float64, float64, flitnet.Stats, error) {
 	net, err := flitnet.New(flitnet.Config{
 		Topology:        topo,
 		Mode:            mode,
 		BufferFlits:     3,
 		InjectQueue:     8,
 		VirtualChannels: vcs,
+		DenseReference:  dense,
 	})
 	if err != nil {
 		return 0, 0, flitnet.Stats{}, err

@@ -101,11 +101,11 @@ func TestRunErrors(t *testing.T) {
 // sane (at least the minimum path length).
 func TestMeasureMonotoneBelowSaturation(t *testing.T) {
 	topo := topology.MustFatTree(2, 2)
-	lo, latLo, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7)
+	lo, latLo, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, latHi, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7)
+	hi, latHi, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,5 +283,82 @@ func TestObsNetloadServeAnswersAndShutsDownOnSIGINT(t *testing.T) {
 	// The server must actually be down.
 	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestObsDenseMatchesEventDriven is the tool-level half of the engine
+// equivalence contract: a full sweep — report table, metrics dump, Chrome
+// trace, covering all three routing modes — must be byte-identical between
+// the event-driven engine and the retained dense reference (-dense).
+func TestObsDenseMatchesEventDriven(t *testing.T) {
+	runWith := func(extra ...string) (stdout, metrics, trace string) {
+		dir := t.TempDir()
+		mPath := filepath.Join(dir, "m.txt")
+		tPath := filepath.Join(dir, "t.json")
+		var out, errOut strings.Builder
+		args := append([]string{"-loads", "0.05,0.2", "-cycles", "300", "-k", "2", "-levels", "2",
+			"-vc", "2", "-metrics", mPath, "-trace-out", tPath}, extra...)
+		code := run(args, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%v: exit %d: %s", extra, code, errOut.String())
+		}
+		m, err := os.ReadFile(mPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(tPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), string(m), string(tr)
+	}
+	eventOut, eventMetrics, eventTrace := runWith()
+	denseOut, denseMetrics, denseTrace := runWith("-dense")
+	if denseOut != eventOut {
+		t.Errorf("stdout differs between -dense and event-driven:\n--- dense ---\n%s--- event ---\n%s", denseOut, eventOut)
+	}
+	if denseMetrics != eventMetrics {
+		t.Errorf("metrics dump differs between -dense and event-driven:\n--- dense ---\n%s--- event ---\n%s", denseMetrics, eventMetrics)
+	}
+	if denseTrace != eventTrace {
+		t.Errorf("trace differs between -dense and event-driven:\n--- dense ---\n%s--- event ---\n%s", denseTrace, eventTrace)
+	}
+}
+
+// TestProfileFlags exercises -cpuprofile/-memprofile: both files must exist
+// and be non-empty after a successful run, and an unwritable path must fail
+// the run without leaving a partial file.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.out")
+	memPath := filepath.Join(dir, "mem.out")
+	var out, errOut strings.Builder
+	code := run([]string{"-loads", "0.05", "-cycles", "100", "-k", "2", "-levels", "2",
+		"-cpuprofile", cpuPath, "-memprofile", memPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+
+	badCPU := filepath.Join(dir, "no", "such", "cpu.out")
+	if code := run([]string{"-loads", "0.05", "-cycles", "50", "-k", "2", "-levels", "2",
+		"-cpuprofile", badCPU}, &out, &errOut); code != 1 {
+		t.Errorf("unwritable -cpuprofile exit %d, want 1", code)
+	}
+	badMem := filepath.Join(dir, "no", "such", "mem.out")
+	if code := run([]string{"-loads", "0.05", "-cycles", "50", "-k", "2", "-levels", "2",
+		"-memprofile", badMem}, &out, &errOut); code != 1 {
+		t.Errorf("unwritable -memprofile exit %d, want 1", code)
+	}
+	if _, err := os.Stat(badMem); !os.IsNotExist(err) {
+		t.Error("partial memprofile left behind")
 	}
 }

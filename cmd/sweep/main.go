@@ -9,6 +9,8 @@
 //	sweep -protocol finite-cr              # any of the four protocols
 //	sweep -ackgroup 8 -ooo 0.25            # indefinite-protocol knobs
 //	sweep -csv                             # machine-readable output
+//	sweep -cpuprofile cpu.out              # pprof CPU profile of the sweep
+//	sweep -memprofile mem.out              # pprof allocation profile at exit
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"msglayer/internal/analytic"
 	"msglayer/internal/cost"
 	"msglayer/internal/parsweep"
+	"msglayer/internal/prof"
 	"msglayer/internal/report"
 )
 
@@ -37,7 +40,7 @@ func main() {
 }
 
 // run executes the tool; factored out of main for testing.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	words := fs.Int("words", 1024, "message size in words")
@@ -47,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ackGroup := fs.Int("ackgroup", 1, "acknowledgement group size (indefinite CMAM)")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	csv := fs.Bool("csv", false, "emit CSV")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,6 +60,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "sweep:", err)
 		return 1
+	}
+	// Profiles cover the whole run and finalize on every exit path; a
+	// profile that cannot be written is reported and removed, never left
+	// truncated.
+	if *cpuProfile != "" {
+		stop, err := prof.StartCPU(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				code = 1
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memProfile); err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				code = 1
+			}
+		}()
 	}
 	var selected []analytic.Protocol
 	if *protoArg == "" {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,5 +77,39 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-junk"}, &out, &errOut); code != 2 {
 		t.Errorf("bad flag exit %d", code)
+	}
+}
+
+// TestProfileFlags exercises -cpuprofile/-memprofile: both files must exist
+// and be non-empty after a successful run, and an unwritable path must fail
+// the run without leaving a partial file.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.out")
+	memPath := filepath.Join(dir, "mem.out")
+	var out, errOut strings.Builder
+	code := run([]string{"-sizes", "4,8", "-cpuprofile", cpuPath, "-memprofile", memPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+
+	if code := run([]string{"-sizes", "4", "-cpuprofile", filepath.Join(dir, "no", "cpu.out")}, &out, &errOut); code != 1 {
+		t.Errorf("unwritable -cpuprofile exit %d, want 1", code)
+	}
+	badMem := filepath.Join(dir, "no", "mem.out")
+	if code := run([]string{"-sizes", "4", "-memprofile", badMem}, &out, &errOut); code != 1 {
+		t.Errorf("unwritable -memprofile exit %d, want 1", code)
+	}
+	if _, err := os.Stat(badMem); !os.IsNotExist(err) {
+		t.Error("partial memprofile left behind")
 	}
 }

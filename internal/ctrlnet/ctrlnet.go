@@ -210,25 +210,47 @@ func (n *Net) Contribute(node int, op Op, value uint32) error {
 	return nil
 }
 
-// Tick advances the combining hardware.
+// Tick advances the combining hardware. The tree's per-cycle work is a
+// pure function of the round state, so the whole remaining climb or descent
+// advances in one jump: a Tick of any length costs O(1), the same
+// event-driven treatment the flit engine's idle fast-forward applies.
+// Observable behavior is identical to ticking cycle by cycle — the round
+// completes (and the observer fires) at exactly the same cycle boundary.
 func (n *Net) Tick(cycles int) {
 	n.obs.Ticks(cycles)
-	for i := 0; i < cycles; i++ {
-		n.cycle++
+	for cycles > 0 {
 		switch n.state {
 		case roundClimbing:
-			n.phase++
+			steps := n.depth - n.phase
+			if steps > cycles {
+				steps = cycles
+			}
+			n.cycle += uint64(steps)
+			cycles -= steps
+			n.phase += steps
 			if n.phase >= n.depth {
 				n.state = roundDescending
 				n.phase = 0
 			}
 		case roundDescending:
-			n.phase++
+			steps := n.depth - n.phase
+			if steps > cycles {
+				steps = cycles
+			}
+			n.cycle += uint64(steps)
+			cycles -= steps
+			n.phase += steps
 			if n.phase >= n.depth {
 				n.state = roundDone
 				n.operations++
 				n.obs.CombineDone()
 			}
+		default:
+			// Gathering or done: the tree is idle; the remaining cycles
+			// are a single clock jump. Scans time out against n.cycle
+			// (scanReadyAt), which this advances the same way.
+			n.cycle += uint64(cycles)
+			return
 		}
 	}
 }

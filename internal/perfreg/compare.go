@@ -104,7 +104,52 @@ func Compare(oldSnap, newSnap *Snapshot, opt CompareOptions) (*Report, error) {
 		}
 	}
 	compareBenches(rep, oldSnap.Benches, newSnap.Benches)
+	gateIdleSpeedup(rep, newSnap.Benches)
 	return rep, nil
+}
+
+// idleSpeedupFloor is the minimum ratio of dense-reference to event-driven
+// idle tick cost. Unlike the cross-snapshot host gates, this compares two
+// benches recorded in the same run on the same machine, so wall-clock is
+// meaningful: the event engine fast-forwards an idle mesh in O(1) while the
+// dense scan pays the full topology walk, a gap that is orders of magnitude
+// in practice. Dropping under 10x means the fast-forward stopped engaging.
+const idleSpeedupFloor = 10.0
+
+// gateIdleSpeedup holds the new snapshot's idle fast-forward speedup to the
+// floor. Snapshots recorded before schema 3 lack the benches and pass.
+func gateIdleSpeedup(rep *Report, benches []BenchResult) {
+	var idle, dense *BenchResult
+	for i := range benches {
+		switch benches[i].Name {
+		case BenchTickIdle:
+			idle = &benches[i]
+		case BenchTickIdleDense:
+			dense = &benches[i]
+		}
+	}
+	if idle == nil || dense == nil {
+		return
+	}
+	d := Delta{
+		Scenario: "bench", Metric: "idle-fast-forward-speedup", Kind: "bench",
+		Old: dense.NsPerOp, New: idle.NsPerOp,
+	}
+	if idle.NsPerOp <= 0 {
+		d.Note = fmt.Sprintf("unmeasurable: %s recorded %.0f ns/op", BenchTickIdle, idle.NsPerOp)
+		rep.fail(d)
+		return
+	}
+	speedup := dense.NsPerOp / idle.NsPerOp
+	if speedup < idleSpeedupFloor {
+		d.Note = fmt.Sprintf("IDLE SPEEDUP %.1fx < %.0fx floor (dense %.0f ns/op, event %.0f ns/op)",
+			speedup, idleSpeedupFloor, dense.NsPerOp, idle.NsPerOp)
+		rep.fail(d)
+		return
+	}
+	d.OK = true
+	d.Note = fmt.Sprintf("idle fast-forward %.0fx over dense reference (floor %.0fx)", speedup, idleSpeedupFloor)
+	rep.Deltas = append(rep.Deltas, d)
 }
 
 // fail appends a failing delta and clears the verdict.

@@ -41,10 +41,13 @@ import (
 )
 
 // SchemaVersion identifies the snapshot layout; bump on incompatible
-// changes. Version 2 added the parallelism stamp and the allocation
-// benchmark section; version 1 snapshots still load (the new sections are
-// simply absent, and absent sections are not gated).
-const SchemaVersion = 2
+// changes. Version 3 added the event-driven engine benchmarks (idle
+// fast-forward and sparse occupancy, with the dense-reference baseline
+// recorded in the same run so the idle speedup gates within one snapshot).
+// Version 2 added the parallelism stamp and the allocation benchmark
+// section. Older snapshots still load: the new sections are simply absent,
+// and absent sections are not gated.
+const SchemaVersion = 3
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1

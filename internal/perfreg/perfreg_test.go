@@ -269,16 +269,67 @@ func TestPerfregRecordBenchesSmoke(t *testing.T) {
 		t.Skip("allocation benchmarks take a couple of seconds")
 	}
 	benches := recordBenches()
-	if len(benches) != 2 {
-		t.Fatalf("got %d benches, want 2", len(benches))
+	if len(benches) != 5 {
+		t.Fatalf("got %d benches, want 5", len(benches))
 	}
+	byName := make(map[string]BenchResult, len(benches))
 	for _, b := range benches {
+		byName[b.Name] = b
 		if b.AllocsPerOp != 0 {
 			t.Errorf("%s: %d allocs/op (%d B/op), want 0 — a hot path regressed", b.Name, b.AllocsPerOp, b.BytesPerOp)
 		}
 		if b.NsPerOp <= 0 {
 			t.Errorf("%s: ns/op = %v", b.Name, b.NsPerOp)
 		}
+	}
+	idle, dense := byName[BenchTickIdle], byName[BenchTickIdleDense]
+	if idle.NsPerOp <= 0 || dense.NsPerOp/idle.NsPerOp < idleSpeedupFloor {
+		t.Errorf("idle fast-forward speedup %.1fx under the %.0fx floor (dense %.0f ns/op, event %.0f ns/op)",
+			dense.NsPerOp/idle.NsPerOp, idleSpeedupFloor, dense.NsPerOp, idle.NsPerOp)
+	}
+}
+
+// TestPerfregIdleSpeedupGate exercises the within-snapshot fast-forward
+// gate: a healthy ratio passes, a collapsed one fails, and snapshots from
+// before the benches existed are not gated.
+func TestPerfregIdleSpeedupGate(t *testing.T) {
+	old := recordOnce(t)
+	healthy := clone(t, old)
+	healthy.Benches = []BenchResult{
+		{Name: BenchTickIdle, NsPerOp: 10},
+		{Name: BenchTickIdleDense, NsPerOp: 1000},
+	}
+	rep, err := Compare(old, healthy, CompareOptions{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("100x speedup failed the gate:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "idle fast-forward 100x") {
+		t.Fatalf("report does not show the speedup:\n%s", rep)
+	}
+
+	collapsed := clone(t, old)
+	collapsed.Benches = []BenchResult{
+		{Name: BenchTickIdle, NsPerOp: 500},
+		{Name: BenchTickIdleDense, NsPerOp: 1000},
+	}
+	rep, err = Compare(old, collapsed, CompareOptions{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("2x speedup passed the %vx floor:\n%s", idleSpeedupFloor, rep)
+	}
+
+	// No idle benches recorded (pre-schema-3 snapshot): nothing to gate.
+	rep, err = Compare(old, clone(t, old), CompareOptions{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("bench-less snapshots failed the idle gate:\n%s", rep)
 	}
 }
 

@@ -1,0 +1,57 @@
+// Package prof writes pprof CPU and allocation profiles for the command-line
+// tools, with the same partial-file-safe semantics as the observability dump
+// writers: a profile that fails to start, render, or close is removed rather
+// than left behind truncated, and the error says which file was being
+// written.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns a stop function
+// that finalizes it. Call stop exactly once, after the workload of interest;
+// a stop error means the profile could not be written and the file has been
+// removed.
+func StartCPU(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("writing %s: %w", path, err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			os.Remove(path)
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap dumps the allocation profile (pprof "allocs", which includes the
+// live heap) to path. It runs a garbage collection first so the in-use
+// numbers reflect retained memory, matching `go test -memprofile`.
+func WriteHeap(path string) error {
+	runtime.GC()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	err = pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

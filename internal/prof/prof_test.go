@@ -1,0 +1,62 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartCPUWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	stop, err := StartCPU(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+func TestStartCPUUnwritablePathFails(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")); err == nil {
+		t.Fatal("expected an error for an unwritable path")
+	}
+}
+
+func TestWriteHeapWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.out")
+	if err := WriteHeap(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+func TestWriteHeapUnwritablePathFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "no", "such", "dir", "mem.out")
+	if err := WriteHeap(path); err == nil {
+		t.Fatal("expected an error for an unwritable path")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("partial heap profile left behind")
+	}
+}

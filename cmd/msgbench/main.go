@@ -12,6 +12,7 @@
 //	msgbench -json            # machine-readable result summary on stdout
 //	msgbench -metrics m.txt   # dump runtime metrics ("-" = stdout)
 //	msgbench -trace-out t.json  # dump a Chrome trace of the runs
+//	msgbench -critpath cp.txt # per-message critical-path attribution ("-" = stdout)
 //	msgbench -serve :8080     # live /metrics, /snapshot, /trace, /debug/pprof/
 package main
 
@@ -25,6 +26,7 @@ import (
 	"os/signal"
 	"time"
 
+	"msglayer/internal/critpath"
 	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/serve"
@@ -69,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "print a machine-readable JSON summary instead of text")
 	metrics := fs.String("metrics", "", "dump runtime metrics to a file after the runs (\"-\" = stdout)")
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON of the runs (\"-\" = stdout)")
+	critpathOut := fs.String("critpath", "",
+		"write a per-message critical-path attribution report of the runs (\"-\" = stdout)")
 	serveAddr := fs.String("serve", "",
 		"serve live observability on this address (/metrics, /snapshot, /trace, /debug/pprof/) and keep serving after the runs until interrupted")
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var hub *obs.Hub
-	if *metrics != "" || *traceOut != "" || *serveAddr != "" {
+	if *metrics != "" || *traceOut != "" || *critpathOut != "" || *serveAddr != "" {
 		hub = obs.NewHub()
 		experiments.SetObserver(hub)
 		defer experiments.SetObserver(nil)
@@ -196,6 +200,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "msgbench:", err)
 				return 1
 			}
+		}
+		if *critpathOut != "" {
+			render := func(w io.Writer) error {
+				return critpath.WriteText(w, critpath.Analyze(hub.Trace.Events()))
+			}
+			if err := writeTo(*critpathOut, stdout, render); err != nil {
+				fmt.Fprintln(stderr, "msgbench:", err)
+				return 1
+			}
+		}
+		if d := hub.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(stderr, "msgbench: warning: trace dropped %d events; exported traces are truncated\n", d)
 		}
 	}
 

@@ -112,3 +112,23 @@ func TestObsMsgbenchMetricsAndTrace(t *testing.T) {
 		t.Error("trace is empty")
 	}
 }
+
+// TestObsMsgbenchCritpath exercises -critpath: the run's trace must
+// reconstruct into a per-message attribution report.
+func TestObsMsgbenchCritpath(t *testing.T) {
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "cp.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-table", "2", "-quiet", "-critpath", cp}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	body, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical-path report:", "where the time goes", "critical path"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("critpath report missing %q:\n%.2000s", want, body)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 //	netload -cpuprofile cpu.out        # pprof CPU profile of the sweep
 //	netload -memprofile mem.out        # pprof allocation profile at exit
 //	netload -dense                     # dense reference engine (baseline)
+//	netload -critpath cp.txt           # per-worm critical-path attribution ("-" = stdout)
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"msglayer/internal/critpath"
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
@@ -71,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	dense := fs.Bool("dense", false,
 		"use the retained dense reference engine (scan every lane every cycle) instead of the event-driven scheduler; results are byte-identical, only speed differs")
+	critpathOut := fs.String("critpath", "",
+		"trace every worm's transit and write a per-message critical-path attribution report (\"-\" = stdout); reconciled exactly against per-point counters")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -175,6 +179,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	type pointResult struct {
 		thru, lat float64
 		st        flitnet.Stats
+		idle      uint64
+		hub       *obs.Hub // per-point span-traced hub, -critpath only
 	}
 	jobs := len(loads) * len(modes)
 	results := make([]pointResult, jobs)
@@ -184,11 +190,19 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err != nil {
 			return err
 		}
-		thru, lat, st, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed, *dense)
+		// With -critpath each point traces its worms into its own hub, so
+		// the grid still fans across workers; reports merge in input order.
+		var pointHub *obs.Hub
+		var scope *obs.FlitScope
+		if *critpathOut != "" {
+			pointHub = obs.NewHub()
+			scope = pointHub.FlitScope()
+		}
+		thru, lat, st, idle, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed, *dense, scope)
 		if err != nil {
 			return err
 		}
-		results[i] = pointResult{thru, lat, st}
+		results[i] = pointResult{thru, lat, st, idle, pointHub}
 		return nil
 	})
 	if err != nil {
@@ -199,20 +213,47 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintln(stderr, "netload: interrupted, reporting completed points")
 	}
 	var points []report.SeriesPoint
+	var idleTotal uint64
 	for li := 0; li < prefix/len(modes); li++ {
 		load := loads[li]
 		values := make([]float64, 0, 2*len(modes))
 		for mi, mode := range modes {
 			res := results[li*len(modes)+mi]
 			if hub != nil {
-				sync(func() { recordPoint(hub, mode, load, res.st) })
+				sync(func() { recordPoint(hub, mode, load, res.st, res.idle) })
 			}
+			idleTotal += res.idle
 			values = append(values, res.thru, res.lat)
 		}
 		points = append(points, report.SeriesPoint{
 			X:      int(load * 1000), // permille for the integer axis
 			Values: values,
 		})
+	}
+
+	if *critpathOut != "" {
+		err := writeTo(*critpathOut, stdout, func(w io.Writer) error {
+			for i := 0; i < prefix; i++ {
+				res := results[i]
+				if res.hub == nil {
+					continue
+				}
+				if err := critpath.Reconcile(res.hub); err != nil {
+					return fmt.Errorf("point %d (%s load %.2f): %w",
+						i, modes[i%len(modes)], loads[i/len(modes)], err)
+				}
+				fmt.Fprintf(w, "== %s routing, load %.2f ==\n", modes[i%len(modes)], loads[i/len(modes)])
+				if err := critpath.WriteText(w, critpath.Analyze(res.hub.Trace.Events())); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
 	}
 
 	if hub != nil {
@@ -236,6 +277,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprint(stdout, report.CSV("load_permille", names, points))
 	} else {
 		fmt.Fprint(stdout, report.Series(title, "load", names, points))
+		fmt.Fprintf(stdout, "# idle cycles fast-forwarded: %d (event-driven engine; 0 under -dense)\n", idleTotal)
+	}
+	if hub != nil && hub.Trace.Dropped() > 0 {
+		fmt.Fprintf(stderr, "netload: warning: trace dropped %d events; exported traces are truncated\n", hub.Trace.Dropped())
 	}
 	if srv != nil && ctx.Err() == nil {
 		// Keep the final state inspectable until the user interrupts.
@@ -247,11 +292,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 // measure runs one (topology, mode, pattern, load) point and returns
 // delivered packets per node per kilocycle, the mean packet latency in
-// cycles, and the raw flit-level stats for the observability dump. With
-// dense set it runs the retained dense reference engine; the numbers are
+// cycles, the raw flit-level stats for the observability dump, and the
+// cycles the event-driven engine fast-forwarded while idle. With dense set
+// it runs the retained dense reference engine; the numbers are
 // byte-identical either way (the differential tests hold the engines to
-// that), only the wall-clock cost differs.
-func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64, dense bool) (float64, float64, flitnet.Stats, error) {
+// that), only the wall-clock cost differs — and the dense engine never
+// fast-forwards, so its idle count is always zero. A non-nil scope traces
+// every worm's transit for critical-path attribution.
+func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64, dense bool, scope *obs.FlitScope) (float64, float64, flitnet.Stats, uint64, error) {
 	net, err := flitnet.New(flitnet.Config{
 		Topology:        topo,
 		Mode:            mode,
@@ -261,12 +309,15 @@ func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workloa
 		DenseReference:  dense,
 	})
 	if err != nil {
-		return 0, 0, flitnet.Stats{}, err
+		return 0, 0, flitnet.Stats{}, 0, err
+	}
+	if scope != nil {
+		net.SetFlitObserver(scope)
 	}
 	nodes := net.Nodes()
 	gen, err := workload.NewGenerator(pattern, nodes, load, seed)
 	if err != nil {
-		return 0, 0, flitnet.Stats{}, err
+		return 0, 0, flitnet.Stats{}, 0, err
 	}
 	for c := 0; c < cycles; c++ {
 		for _, a := range gen.Cycle() {
@@ -290,13 +341,13 @@ func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workloa
 	}
 	st := net.FlitStats()
 	thru := float64(st.Delivered) / float64(nodes) / float64(cycles) * 1000
-	return thru, st.MeanLatency(), st, nil
+	return thru, st.MeanLatency(), st, net.IdleSkipped(), nil
 }
 
 // recordPoint files one measure point's flit-level stats into the metrics
 // registry, labeled by routing mode and offered load (permille), and records
 // one Chrome-trace duration span per point so the sweep reads as a timeline.
-func recordPoint(h *obs.Hub, mode flitnet.Mode, load float64, st flitnet.Stats) {
+func recordPoint(h *obs.Hub, mode flitnet.Mode, load float64, st flitnet.Stats, idle uint64) {
 	key := func(name string) obs.Key {
 		return obs.Key{
 			Name:  name,
@@ -316,6 +367,9 @@ func recordPoint(h *obs.Hub, mode flitnet.Mode, load float64, st flitnet.Stats) 
 	h.Metrics.Level(key("netload_latency_max_cycles")).Set(int64(st.LatencyMax))
 	// The registry is integer-valued; keep three decimals of the mean.
 	h.Metrics.Level(key("netload_latency_mean_millicycles")).Set(int64(st.MeanLatency() * 1000))
+	// Engine-performance gauge: cycles the event-driven scheduler skipped
+	// while no flit could move (always 0 under the dense reference).
+	h.Metrics.Level(key("flitnet_idle_skipped")).Set(int64(idle))
 
 	// One span per measure point, laid end to end: the span length is the
 	// point's simulated cycle count, so relative widths on a perfetto

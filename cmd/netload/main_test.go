@@ -101,13 +101,16 @@ func TestRunErrors(t *testing.T) {
 // sane (at least the minimum path length).
 func TestMeasureMonotoneBelowSaturation(t *testing.T) {
 	topo := topology.MustFatTree(2, 2)
-	lo, latLo, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7, false)
+	lo, latLo, _, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, latHi, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7, false)
+	hi, latHi, _, idle, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7, false, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if idle == 0 {
+		t.Error("event-driven engine fast-forwarded no idle cycles at low load")
 	}
 	if !(hi > lo) {
 		t.Errorf("throughput did not grow with load: %.2f vs %.2f", lo, hi)
@@ -286,10 +289,26 @@ func TestObsNetloadServeAnswersAndShutsDownOnSIGINT(t *testing.T) {
 	}
 }
 
+// stripIdleLines removes the idle-fast-forward reporting — the one output
+// that legitimately differs between engines (the dense reference never
+// fast-forwards, so its count is always zero). Everything else must match
+// byte for byte.
+func stripIdleLines(s string) string {
+	var kept []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "idle") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
 // TestObsDenseMatchesEventDriven is the tool-level half of the engine
 // equivalence contract: a full sweep — report table, metrics dump, Chrome
 // trace, covering all three routing modes — must be byte-identical between
-// the event-driven engine and the retained dense reference (-dense).
+// the event-driven engine and the retained dense reference (-dense),
+// modulo the idle-fast-forward counters only the event engine accumulates.
 func TestObsDenseMatchesEventDriven(t *testing.T) {
 	runWith := func(extra ...string) (stdout, metrics, trace string) {
 		dir := t.TempDir()
@@ -314,6 +333,8 @@ func TestObsDenseMatchesEventDriven(t *testing.T) {
 	}
 	eventOut, eventMetrics, eventTrace := runWith()
 	denseOut, denseMetrics, denseTrace := runWith("-dense")
+	eventOut, denseOut = stripIdleLines(eventOut), stripIdleLines(denseOut)
+	eventMetrics, denseMetrics = stripIdleLines(eventMetrics), stripIdleLines(denseMetrics)
 	if denseOut != eventOut {
 		t.Errorf("stdout differs between -dense and event-driven:\n--- dense ---\n%s--- event ---\n%s", denseOut, eventOut)
 	}
@@ -322,6 +343,44 @@ func TestObsDenseMatchesEventDriven(t *testing.T) {
 	}
 	if denseTrace != eventTrace {
 		t.Errorf("trace differs between -dense and event-driven:\n--- dense ---\n%s--- event ---\n%s", denseTrace, eventTrace)
+	}
+}
+
+// TestObsNetloadCritpath exercises -critpath: every sweep point gets a
+// reconciled attribution report, and the report is byte-identical across
+// worker counts and flit engines.
+func TestObsNetloadCritpath(t *testing.T) {
+	renderCP := func(extra ...string) string {
+		dir := t.TempDir()
+		cpPath := filepath.Join(dir, "cp.txt")
+		var out, errOut strings.Builder
+		args := append([]string{"-loads", "0.05,0.2", "-cycles", "300", "-k", "2", "-levels", "2",
+			"-critpath", cpPath}, extra...)
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d: %s", extra, code, errOut.String())
+		}
+		b, err := os.ReadFile(cpPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	base := renderCP()
+	for _, want := range []string{
+		"== deterministic routing, load 0.05 ==",
+		"== cr routing, load 0.20 ==",
+		"where the time goes",
+		"critical path",
+	} {
+		if !strings.Contains(base, want) {
+			t.Errorf("critpath report missing %q", want)
+		}
+	}
+	if got := renderCP("-parallel", "8"); got != base {
+		t.Error("critpath report differs between -parallel 1 and -parallel 8")
+	}
+	if got := renderCP("-dense"); got != base {
+		t.Error("critpath report differs between flit engines")
 	}
 }
 

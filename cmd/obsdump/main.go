@@ -139,6 +139,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if d := hub.Trace.Dropped(); d > 0 {
+		fmt.Fprintf(stderr, "obsdump: warning: trace dropped %d events; exported traces are truncated\n", d)
+	}
 	if srv != nil && ctx.Err() == nil {
 		// Keep the recorded run inspectable until the user interrupts.
 		fmt.Fprintln(stderr, "obsdump: runs done, still serving (SIGINT to stop)")

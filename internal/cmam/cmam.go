@@ -125,17 +125,49 @@ func (ep *Endpoint) Send(dst int, tag network.Tag, head network.Word, data []net
 	if charge != nil {
 		ep.node.Charge(f, charge)
 	}
-	ni := ep.node.NI
-	ni.StageDest(dst, tag)
-	ni.StageHead(head)
+	fresh := ep.originate()
+	sp := ep.node.Obs.StartSpan("cmam.send")
+	nic := ep.node.NI
+	nic.StageDest(dst, tag)
+	nic.StageHead(head)
 	if len(data) > 0 {
-		ni.StageData(data...)
+		nic.StageData(data...)
 	}
-	err := ni.Push()
+	ep.stageTrace(nic)
+	err := nic.Push()
+	sp.End()
+	if fresh {
+		ep.node.Obs.SwapMsg(0)
+	}
 	if err == nil {
 		ep.node.Obs.PacketSent()
 	}
 	return err
+}
+
+// originate gives a top-level send — one issued outside any protocol
+// transfer or handler context — its own message identity, so even bare
+// active messages (the single-packet delivery protocol) reconstruct as
+// causal messages. Returns true when an identity was allocated; the caller
+// clears the context after the send so it does not leak to later sends.
+func (ep *Endpoint) originate() bool {
+	obsScope := ep.node.Obs
+	if obsScope.CurrentMsg() != 0 {
+		return false
+	}
+	return obsScope.NewMsg() != 0
+}
+
+// stageTrace stamps the node's current message context into the staged
+// packet: the message id, the innermost open span (which the cmam.send
+// span just opened, making it the packet's causal parent at the receiver),
+// and a fresh packet id. All zeros with no observer attached.
+func (ep *Endpoint) stageTrace(nic *ni.NI) {
+	msg, span := ep.node.Obs.MsgContext()
+	if msg == 0 && span == 0 {
+		return
+	}
+	nic.StageTrace(msg, span, ep.node.Obs.NewPkt())
 }
 
 // AM4 sends a CMAM_4 active message carrying up to four words, charging the
@@ -170,12 +202,19 @@ func (ep *Endpoint) ReplyAM4(dst int, h HandlerID, args ...network.Word) error {
 		nic = ep.node.NI
 	}
 	ep.node.Charge(cost.Base, ep.node.Sched.SendSingle)
+	fresh := ep.originate()
+	sp := ep.node.Obs.StartSpan("cmam.send")
 	nic.StageDest(dst, TagAM)
 	nic.StageHead(network.Word(h))
 	if len(args) > 0 {
 		nic.StageData(args...)
 	}
+	ep.stageTrace(nic)
 	err := nic.Push()
+	sp.End()
+	if fresh {
+		ep.node.Obs.SwapMsg(0)
+	}
 	if err == nil {
 		ep.node.Obs.PacketSent()
 	}
@@ -277,8 +316,24 @@ func (ep *Endpoint) Poll(budget int) (int, error) {
 	return count, nil
 }
 
-// dispatch consumes and routes the packet staged on one interface.
+// dispatch consumes and routes the packet staged on one interface. When the
+// packet carries observability identity, the handler runs inside a dispatch
+// context: everything it records — including replies and acknowledgements it
+// sends — is attributed to the packet's originating message, which is how
+// causal identity crosses the network without per-protocol plumbing.
 func (ep *Endpoint) dispatch(nic *ni.NI) error {
+	msg, span, pkt := nic.RecvTrace()
+	if msg == 0 && span == 0 {
+		return ep.dispatchPacket(nic)
+	}
+	ctx := ep.node.HandleBegin(msg, span, pkt)
+	err := ep.dispatchPacket(nic)
+	ep.node.HandleEnd(ctx)
+	return err
+}
+
+// dispatchPacket consumes and routes the packet staged on one interface.
+func (ep *Endpoint) dispatchPacket(nic *ni.NI) error {
 	src, tag, head := nic.ReadMeta()
 	switch tag {
 	case TagAM:

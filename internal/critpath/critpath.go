@@ -1,0 +1,461 @@
+// Package critpath reconstructs per-message causal span trees from the
+// observability layer's trace (internal/obs) and attributes every unit of
+// each message's delivery time to a segment: protocol work on a node
+// (further split by the paper's Feature axes), queueing/transit between
+// nodes, backpressure stalls, and retransmission/recovery waits.
+//
+// The decomposition is exact by construction: a message's segments
+// telescope — each segment runs from the previous event's time to the next
+// event's — so they sum to the message's total latency with no residue.
+// That exactness extends to the aggregate level: Reconcile cross-checks the
+// per-message event attribution against the metrics registry's counters and
+// demands exact equality, so the report provably accounts for everything
+// the run recorded.
+//
+// A critical-path pass chains events across concurrent messages: an event's
+// predecessor is the later of the previous event of its own message and the
+// previous event on its node, so the backward chain from the run's last
+// event is the sequence of happenings that actually gated completion.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msglayer/internal/obs"
+)
+
+// Category classifies what a message was doing (or waiting for) during one
+// segment of its lifetime.
+type Category uint8
+
+// Categories, in report order.
+const (
+	// CatWork is protocol execution on a node: handler dispatch, send
+	// staging, segment bookkeeping — time the messaging layer is actively
+	// spending instructions on the message.
+	CatWork Category = iota
+	// CatQueueing is time between nodes: network transit plus waiting for
+	// the destination's scheduler slot or inject-queue turn.
+	CatQueueing
+	// CatBackpressure is time stalled behind exhausted buffering.
+	CatBackpressure
+	// CatRetransmission is recovery time: retries, kills, backoff,
+	// duplicate handling — the fault-tolerance wait states.
+	CatRetransmission
+
+	numCategories = 4
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatWork:
+		return "work"
+	case CatQueueing:
+		return "queueing"
+	case CatBackpressure:
+		return "backpressure"
+	case CatRetransmission:
+		return "retransmission"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Role is which end of the transfer a segment executed on.
+type Role uint8
+
+// Roles, in report order.
+const (
+	// RoleSource is the message's originating node.
+	RoleSource Role = iota
+	// RoleDest is any other node (the receiver side of the transfer).
+	RoleDest
+	// RoleNetwork is the substrate itself (events with Node == -1).
+	RoleNetwork
+
+	numRoles = 3
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleSource:
+		return "source"
+	case RoleDest:
+		return "dest"
+	case RoleNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// numAxes covers obs.AxisOther..obs.AxisFaultTol.
+const numAxes = 5
+
+// Segment is one exactly-accounted slice of a message's lifetime: the time
+// from the previous event to the event named here, classified by what that
+// arrival represents.
+type Segment struct {
+	// From and To bound the segment in trace time units; To-From is its
+	// length (possibly zero for coincident events).
+	From, To uint64
+	// Name is the event that closes the segment.
+	Name string
+	// Node is the closing event's node (-1 for network-level events).
+	Node int
+	// Proto is the closing event's protocol/subsystem.
+	Proto string
+	// Axis is the closing event's Feature-axis attribution.
+	Axis obs.Axis
+	// Cat classifies the segment.
+	Cat Category
+	// Role is the end of the transfer the segment executed on.
+	Role Role
+}
+
+// Message is the reconstructed lifetime of one causal message.
+type Message struct {
+	// ID is the message identity (hub-allocated, or synthetic for raw
+	// flit-level workloads — see Synthetic).
+	ID uint64
+	// Synthetic marks identities manufactured by the flit simulator for
+	// packets no messaging layer traced.
+	Synthetic bool
+	// Proto is the protocol of the message's first event.
+	Proto string
+	// SrcNode is the originating node (-1 when the message only ever
+	// appeared at network level). DstNode is the first other node seen.
+	SrcNode, DstNode int
+	// Start and End bound the message in trace time units; Latency is
+	// End-Start and exactly equals the sum of Segments.
+	Start, End, Latency uint64
+	// Events counts instant events, Spans completed span events, Packets
+	// distinct packet identities.
+	Events, Spans, Packets int
+	// Retries counts retransmission-category closing events.
+	Retries int
+	// Segments is the exact telescoping decomposition of Latency.
+	Segments []Segment
+	// ByCategory, ByRole, and ByAxis aggregate segment time. ByAxis covers
+	// CatWork segments only, indexed by obs.Axis.
+	ByCategory [numCategories]uint64
+	ByRole     [numRoles]uint64
+	ByAxis     [numAxes]uint64
+}
+
+// PathStep is one hop of the cross-message critical path.
+type PathStep struct {
+	// Name, Node, MsgID, and Time identify the event.
+	Name  string
+	Node  int
+	MsgID uint64
+	Time  uint64
+	// Gap is the time since the predecessor step; Cat classifies it.
+	Gap uint64
+	Cat Category
+}
+
+// CriticalPath is the backward chain from the run's last event through the
+// predecessors that gated it.
+type CriticalPath struct {
+	// Steps in time order (earliest first).
+	Steps []PathStep
+	// Span is the time covered, ByCategory its composition.
+	Span       uint64
+	ByCategory [numCategories]uint64
+}
+
+// Analysis is the full per-message reconstruction of one trace.
+type Analysis struct {
+	// Messages in origination order (ascending first-event sequence).
+	Messages []*Message
+	// Unattributed counts events with no message identity.
+	Unattributed int
+	// TotalEvents is every trace event examined (instants and spans).
+	TotalEvents int
+	// ByCategory, ByRole, ByAxis aggregate segment time across messages.
+	ByCategory [numCategories]uint64
+	ByRole     [numRoles]uint64
+	ByAxis     [numAxes]uint64
+	// Waterfall is work time by role, protocol, and Feature axis, in
+	// deterministic (role, proto, axis) order.
+	Waterfall []WaterfallRow
+	// Latencies holds every message latency, ascending (exact quantiles).
+	Latencies []uint64
+	// Critical is the cross-message critical path.
+	Critical CriticalPath
+}
+
+// WaterfallRow is one line of the per-feature cost waterfall.
+type WaterfallRow struct {
+	Role  Role
+	Proto string
+	Axis  obs.Axis
+	Units uint64
+}
+
+// eventTime is the moment an event "happens" on the message timeline: an
+// instant's timestamp, a span's close (spans are recorded when they end, so
+// this keeps emission order time-ordered).
+func eventTime(e obs.TraceEvent) uint64 {
+	if e.Phase == obs.PhaseComplete {
+		return e.TS + e.Dur
+	}
+	return e.TS
+}
+
+// retransMarks are the substrings naming recovery events.
+var retransMarks = []string{
+	"retry", "retransmit", "kill", "timeout", "nack",
+	"stale", "reack", "rereply", "failed", "duplicate", "backoff",
+}
+
+// classify attributes the gap closed by event cur: what was the message
+// doing since prev? sameNode reports whether cur happened where prev did.
+func classify(name string, sameNode bool) Category {
+	if strings.Contains(name, "backpressure") {
+		return CatBackpressure
+	}
+	for _, m := range retransMarks {
+		if strings.Contains(name, m) {
+			return CatRetransmission
+		}
+	}
+	if name == "flit.wait.queue" || name == "flit.wait.blocked" || !sameNode {
+		return CatQueueing
+	}
+	return CatWork
+}
+
+// Analyze reconstructs per-message timelines from a recorded trace. The
+// slice must be in emission order (obs.Tracer.Events returns it that way).
+func Analyze(events []obs.TraceEvent) *Analysis {
+	a := &Analysis{TotalEvents: len(events)}
+	byMsg := make(map[uint64]*Message)
+	lastNode := make(map[uint64]int)    // msg -> node of previous event
+	lastTime := make(map[uint64]uint64) // msg -> running cursor
+	pkts := make(map[uint64]map[uint64]bool)
+
+	for _, e := range events {
+		if e.MsgID == 0 {
+			a.Unattributed++
+			continue
+		}
+		m, ok := byMsg[e.MsgID]
+		t := eventTime(e)
+		if !ok {
+			m = &Message{
+				ID:        e.MsgID,
+				Synthetic: e.MsgID >= syntheticBase,
+				Proto:     e.Proto,
+				SrcNode:   e.Node,
+				DstNode:   e.Node,
+				Start:     t,
+			}
+			byMsg[e.MsgID] = m
+			a.Messages = append(a.Messages, m)
+			lastNode[e.MsgID] = e.Node
+			lastTime[e.MsgID] = t
+		}
+		if m.DstNode == m.SrcNode && e.Node != m.SrcNode && e.Node >= 0 {
+			m.DstNode = e.Node
+		}
+		// The first record is often the mechanism layer (a cmam.send span
+		// closes before the protocol's own start event lands); name the
+		// message after the protocol driving it once a node-level protocol
+		// event shows up (network substrate and flit events don't qualify).
+		if m.Proto == "cmam" && e.Node >= 0 && e.Proto != "cmam" && e.Proto != "" &&
+			!strings.HasPrefix(e.Name, "net.") {
+			m.Proto = e.Proto
+		}
+		if e.Phase == obs.PhaseComplete {
+			m.Spans++
+		} else {
+			m.Events++
+		}
+		if e.PktID != 0 {
+			set := pkts[e.MsgID]
+			if set == nil {
+				set = make(map[uint64]bool)
+				pkts[e.MsgID] = set
+			}
+			set[e.PktID] = true
+		}
+
+		cursor := lastTime[e.MsgID]
+		to := t
+		if to < cursor {
+			to = cursor // clamped: span starts can precede the cursor
+		}
+		role := roleOf(e.Node, m.SrcNode)
+		cat := classify(e.Name, e.Node == lastNode[e.MsgID])
+		seg := Segment{
+			From: cursor, To: to,
+			Name: e.Name, Node: e.Node, Proto: e.Proto, Axis: e.Axis,
+			Cat: cat, Role: role,
+		}
+		m.Segments = append(m.Segments, seg)
+		units := to - cursor
+		m.ByCategory[cat] += units
+		m.ByRole[role] += units
+		if cat == CatWork {
+			m.ByAxis[e.Axis] += units
+		}
+		if cat == CatRetransmission && e.Phase != obs.PhaseComplete {
+			m.Retries++
+		}
+		m.End = to
+		m.Latency = m.End - m.Start
+		lastTime[e.MsgID] = to
+		lastNode[e.MsgID] = e.Node
+	}
+
+	sort.Slice(a.Messages, func(i, j int) bool {
+		return a.Messages[i].Start < a.Messages[j].Start || (a.Messages[i].Start == a.Messages[j].Start && a.Messages[i].ID < a.Messages[j].ID)
+	})
+	water := make(map[WaterfallRow]uint64)
+	for _, m := range a.Messages {
+		m.Packets = len(pkts[m.ID])
+		for c := 0; c < numCategories; c++ {
+			a.ByCategory[c] += m.ByCategory[c]
+		}
+		for r := 0; r < numRoles; r++ {
+			a.ByRole[r] += m.ByRole[r]
+		}
+		for x := 0; x < numAxes; x++ {
+			a.ByAxis[x] += m.ByAxis[x]
+		}
+		for _, s := range m.Segments {
+			if s.Cat == CatWork && s.To > s.From {
+				water[WaterfallRow{Role: s.Role, Proto: s.Proto, Axis: s.Axis}] += s.To - s.From
+			}
+		}
+		a.Latencies = append(a.Latencies, m.Latency)
+	}
+	for k, v := range water {
+		k.Units = v
+		a.Waterfall = append(a.Waterfall, k)
+	}
+	sort.Slice(a.Waterfall, func(i, j int) bool {
+		x, y := a.Waterfall[i], a.Waterfall[j]
+		if x.Role != y.Role {
+			return x.Role < y.Role
+		}
+		if x.Proto != y.Proto {
+			return x.Proto < y.Proto
+		}
+		return x.Axis < y.Axis
+	})
+	sort.Slice(a.Latencies, func(i, j int) bool { return a.Latencies[i] < a.Latencies[j] })
+	a.Critical = criticalPath(events)
+	return a
+}
+
+// syntheticBase mirrors the flit simulator's synthetic message-id offset.
+const syntheticBase = uint64(1) << 32
+
+// roleOf maps a node to its role relative to a message's source.
+func roleOf(node, src int) Role {
+	switch {
+	case node < 0:
+		return RoleNetwork
+	case node == src:
+		return RoleSource
+	default:
+		return RoleDest
+	}
+}
+
+// Quantile returns the exact q-quantile of the message latencies (nearest-
+// rank, so it is an observed value, not an interpolation). Zero when no
+// messages were reconstructed.
+func (a *Analysis) Quantile(q float64) uint64 {
+	n := len(a.Latencies)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return a.Latencies[0]
+	}
+	rank := int(float64(n) * q)
+	if float64(rank) < float64(n)*q {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return a.Latencies[rank-1]
+}
+
+// MeanLatency returns the average message latency in trace units.
+func (a *Analysis) MeanLatency() float64 {
+	if len(a.Latencies) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, l := range a.Latencies {
+		sum += l
+	}
+	return float64(sum) / float64(len(a.Latencies))
+}
+
+// criticalPath chains events across messages: an event's predecessor is the
+// later of the previous event of its message and the previous event on its
+// node, and the path is the backward chain from the run's last event. One
+// forward pass records predecessor indices; the backtrack is O(path).
+func criticalPath(events []obs.TraceEvent) CriticalPath {
+	var cp CriticalPath
+	if len(events) == 0 {
+		return cp
+	}
+	pred := make([]int32, len(events))
+	lastOfMsg := make(map[uint64]int32)
+	lastOnNode := make(map[int]int32)
+	for i, e := range events {
+		p := int32(-1)
+		if j, ok := lastOfMsg[e.MsgID]; ok && e.MsgID != 0 {
+			p = j
+		}
+		if j, ok := lastOnNode[e.Node]; ok && j > p {
+			p = j
+		}
+		pred[i] = p
+		if e.MsgID != 0 {
+			lastOfMsg[e.MsgID] = int32(i)
+		}
+		lastOnNode[e.Node] = int32(i)
+	}
+	var chain []int32
+	for i := int32(len(events) - 1); i >= 0; i = pred[i] {
+		chain = append(chain, i)
+	}
+	// Reverse into time order and build steps.
+	var prevTime uint64
+	var prevNode int
+	for k := len(chain) - 1; k >= 0; k-- {
+		e := events[chain[k]]
+		t := eventTime(e)
+		if t < prevTime {
+			t = prevTime
+		}
+		step := PathStep{Name: e.Name, Node: e.Node, MsgID: e.MsgID, Time: t}
+		if len(cp.Steps) > 0 {
+			step.Gap = t - prevTime
+			step.Cat = classify(e.Name, e.Node == prevNode)
+			cp.ByCategory[step.Cat] += step.Gap
+		}
+		cp.Steps = append(cp.Steps, step)
+		prevTime, prevNode = t, e.Node
+	}
+	if n := len(cp.Steps); n > 1 {
+		cp.Span = cp.Steps[n-1].Time - cp.Steps[0].Time
+	}
+	return cp
+}

@@ -94,6 +94,7 @@ type Transfer struct {
 	sent     int  // words injected (header counts its payload)
 	headerIn bool // header accepted by the destination
 	rejected uint64
+	msg      uint64 // observability message identity, 0 when untraced
 }
 
 const maxWords = 1 << 16 // the head word carries a 16-bit size
@@ -152,9 +153,16 @@ func (f *Finite) Start(dst int, data []network.Word) (*Transfer, error) {
 	t := &Transfer{f: f, id: f.nextID, dst: dst, data: data}
 	f.nextID++
 	f.outgoing[t.id] = t
+	// One transfer is one causal message, from the header injection through
+	// the last packet.
+	obsScope := f.ep.Node().Obs
+	prevMsg := obsScope.CurrentMsg()
+	t.msg = obsScope.NewMsg()
 	f.ep.Node().Charge(cost.Base, f.sched().CRXferSendFixed)
 	f.ep.Node().Event("crfinite.start")
-	return t, f.pumpOne(t)
+	err := f.pumpOne(t)
+	obsScope.SwapMsg(prevMsg)
+	return t, err
 }
 
 // Done reports whether every packet has been injected — which, on this
@@ -175,7 +183,10 @@ func (f *Finite) Pump() error {
 		return err
 	}
 	for _, t := range f.outgoing {
-		if err := f.pumpOne(t); err != nil {
+		prev := f.ep.Node().Obs.SwapMsg(t.msg)
+		err := f.pumpOne(t)
+		f.ep.Node().Obs.SwapMsg(prev)
+		if err != nil {
 			return err
 		}
 	}

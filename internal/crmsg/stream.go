@@ -42,6 +42,10 @@ type Conn struct {
 	sendq  [][]network.Word // packets awaiting injection after backpressure
 	sent   uint64
 	closed bool
+
+	// sendqMsg carries the observability message identity of each queued
+	// packet, kept in lockstep with sendq. Empty while untraced.
+	sendqMsg []uint64
 }
 
 // NewStream installs the CR stream protocol on an endpoint.
@@ -92,12 +96,17 @@ func (c *Conn) Send(data ...network.Word) error {
 			len(data), c.s.sched().PacketWords)
 	}
 	node := c.s.ep.Node()
+	// Each packet is one causal message; a queued packet remembers its
+	// identity so the deferred injection attributes to the Send.
+	prevMsg := node.Obs.CurrentMsg()
+	msg := node.Obs.NewMsg()
+	defer node.Obs.SwapMsg(prevMsg)
 	node.Charge(cost.Base, c.s.sched().CRStreamSend)
 	if len(c.sendq) > 0 {
 		// Preserve injection order behind backpressured packets.
 		buf := make([]network.Word, len(data))
 		copy(buf, data)
-		c.sendq = append(c.sendq, buf)
+		c.enqueue(buf, msg)
 		return nil
 	}
 	err := c.inject(data)
@@ -105,10 +114,31 @@ func (c *Conn) Send(data ...network.Word) error {
 		node.Charge(cost.Base, retryProbe)
 		buf := make([]network.Word, len(data))
 		copy(buf, data)
-		c.sendq = append(c.sendq, buf)
+		c.enqueue(buf, msg)
 		return nil
 	}
 	return err
+}
+
+// enqueue appends a backpressured packet and its message identity.
+func (c *Conn) enqueue(buf []network.Word, msg uint64) {
+	c.sendq = append(c.sendq, buf)
+	if msg != 0 || len(c.sendqMsg) > 0 {
+		for len(c.sendqMsg) < len(c.sendq)-1 {
+			c.sendqMsg = append(c.sendqMsg, 0)
+		}
+		c.sendqMsg = append(c.sendqMsg, msg)
+	}
+}
+
+// dequeueMsg pops the message identity paired with the head of sendq.
+func (c *Conn) dequeueMsg() uint64 {
+	if len(c.sendqMsg) == 0 {
+		return 0
+	}
+	msg := c.sendqMsg[0]
+	c.sendqMsg = c.sendqMsg[1:]
+	return msg
 }
 
 func (c *Conn) inject(data []network.Word) error {
@@ -137,7 +167,13 @@ func (s *Stream) Pump() error {
 	node := s.ep.Node()
 	for _, c := range s.out {
 		for len(c.sendq) > 0 {
+			var headMsg uint64
+			if len(c.sendqMsg) > 0 {
+				headMsg = c.sendqMsg[0]
+			}
+			prev := node.Obs.SwapMsg(headMsg)
 			err := c.inject(c.sendq[0])
+			node.Obs.SwapMsg(prev)
 			if errors.Is(err, network.ErrBackpressure) {
 				node.Charge(cost.Base, retryProbe)
 				break
@@ -146,6 +182,7 @@ func (s *Stream) Pump() error {
 				return err
 			}
 			c.sendq = c.sendq[1:]
+			c.dequeueMsg()
 		}
 	}
 	return nil

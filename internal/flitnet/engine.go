@@ -230,6 +230,17 @@ func (n *Net) startNext(f *flow) *worm {
 	n.queuedWorms--
 	w.state = wormInjecting
 	w.blocked = 0
+	if n.obs != nil {
+		// Close the wait that ends here: time in the inject queue on the
+		// first attempt, retry backoff on subsequent ones.
+		name := "flit.wait.queue"
+		if w.retries > 0 {
+			name = "flit.wait.backoff"
+		}
+		msg, pkt, parent := w.identity()
+		n.obs.Span(name, w.waitFrom, n.cycle, msg, pkt, parent)
+	}
+	w.startedAt = n.cycle
 	// Rotate injection channels so consecutive worms can bypass a blocked
 	// predecessor at the source port.
 	w.srcVC = int(w.id) % n.cfg.VirtualChannels
@@ -477,9 +488,12 @@ func (n *Net) routeHead(r, port, vc int, w *worm) (lane, bool) {
 	return lane{}, false
 }
 
-// noteBlocked ages a blocked head and applies the CR kill timeout.
+// noteBlocked ages a blocked head and applies the CR kill timeout. The
+// stall counter feeds the flit.wait.blocked span emitted at delivery — one
+// summary span instead of a per-cycle event, keeping trace volume bounded.
 func (n *Net) noteBlocked(w *worm) {
 	w.blocked++
+	w.stallCycles++
 	if n.cfg.Mode == CR && w.blocked > uint64(n.cfg.KillTimeout) {
 		n.kill(w, "timeout")
 	}
@@ -502,6 +516,16 @@ func (n *Net) finishWorm(r int, out lane, w *worm, node int) {
 	n.stats.LatencyCount++
 	if latency > n.stats.LatencyMax {
 		n.stats.LatencyMax = latency
+	}
+	if n.obs != nil {
+		msg, pkt, parent := w.identity()
+		n.obs.Span("flit.xfer", w.startedAt, n.cycle, msg, pkt, parent)
+		if w.stallCycles > 0 {
+			// The blocked-head summary: stall cycles accumulated anywhere
+			// along the path, reported as one span ending at delivery.
+			n.obs.Span("flit.wait.blocked", n.cycle-w.stallCycles, n.cycle, msg, pkt, parent)
+		}
+		n.obs.Event("flit.delivered", n.cycle, msg, pkt, parent)
 	}
 	n.recvq[node].push(w.packet)
 	n.recvqTotal++
@@ -531,6 +555,10 @@ func (n *Net) kill(w *worm, reason string) {
 	w.state = wormKilled
 	n.inflight-- // re-queued (or failed) below; no longer in the network
 	n.stats.Kills++
+	if n.obs != nil {
+		msg, pkt, parent := w.identity()
+		n.obs.Event(killEventName(reason), n.cycle, msg, pkt, parent)
+	}
 
 	// Sweep the worm's flits out of every occupied lane. The worklist may
 	// be mid-compaction (kill fires from inside the route phase), in which
@@ -569,6 +597,10 @@ func (n *Net) kill(w *worm, reason string) {
 		n.stats.FailedWorms++
 		n.queued[w.packet.Src]--
 		n.stats.Dropped++
+		if n.obs != nil {
+			msg, pkt, parent := w.identity()
+			n.obs.Event("flit.failed", n.cycle, msg, pkt, parent)
+		}
 		n.putWords(w.packet.Data)
 		n.putWorm(w)
 		if f != nil {
@@ -581,6 +613,8 @@ func (n *Net) kill(w *worm, reason string) {
 	w.state = wormQueued
 	w.sent = 0
 	w.blocked = 0
+	w.waitFrom = n.cycle
+	w.stallCycles = 0
 	// Exponential backoff with deterministic per-worm jitter: two worms
 	// that killed each other must not retry in lockstep, or they collide
 	// and kill each other forever (retry livelock).
@@ -597,5 +631,20 @@ func (n *Net) kill(w *worm, reason string) {
 		// The inject phase will find the front worm sleeping and park
 		// the flow in the wake heap until wakeAt.
 		n.ready.add(f.idx)
+	}
+}
+
+// killEventName maps a kill reason to its event-name constant (constants,
+// not concatenation, so the kill path allocates nothing).
+func killEventName(reason string) string {
+	switch reason {
+	case "timeout":
+		return "flit.kill.timeout"
+	case "rejected":
+		return "flit.kill.rejected"
+	case "misroute":
+		return "flit.kill.misroute"
+	default:
+		return "flit.kill.unroutable"
 	}
 }

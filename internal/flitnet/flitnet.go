@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"msglayer/internal/network"
+	"msglayer/internal/obs"
 	"msglayer/internal/topology"
 )
 
@@ -143,6 +144,13 @@ type worm struct {
 	wakeAt   uint64 // cycle a killed worm re-enters its flow queue
 	srcVC    int    // the virtual channel the worm injects on
 	injected uint64 // cycle the packet entered the inject queue
+	// Observability bookkeeping (costs three stores per worm when no
+	// observer is attached): waitFrom marks when the current wait began
+	// (inject-queue entry or kill backoff), startedAt when injection began,
+	// and stallCycles counts cycles the head sat blocked in transit.
+	waitFrom    uint64
+	startedAt   uint64
+	stallCycles uint64
 	// claims lists the routers where this worm currently holds an output
 	// lane, in path order; claimHead indexes the first still-held claim.
 	// The head appends as it claims, the tail releases front-first, and a
@@ -380,6 +388,12 @@ type Net struct {
 	// idleSkipped counts cycles covered by fast-forward rather than
 	// stepped individually; they are still folded into stats.Cycles.
 	idleSkipped uint64
+
+	// obs, when non-nil, records flit-level transit events (queue waits,
+	// transfer spans, backpressure, kills, deliveries). Every emission site
+	// lives in the engine functions shared by the dense and event-driven
+	// steppers, so traces are byte-identical across both.
+	obs *obs.FlitScope
 }
 
 // New builds the network.
@@ -527,6 +541,7 @@ func (n *Net) Inject(p network.Packet) error {
 	}
 	if n.queued[p.Src] >= n.cfg.InjectQueue {
 		n.stats.Backpressure++
+		n.obs.Event("flit.backpressure", n.cycle, p.Msg, p.Pkt, p.Span)
 		return network.ErrBackpressure
 	}
 	data := n.getWords(len(p.Data))
@@ -534,7 +549,7 @@ func (n *Net) Inject(p network.Packet) error {
 	p.Data = data
 
 	w := n.getWorm()
-	*w = worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle, claims: w.claims[:0]}
+	*w = worm{id: n.nextID, packet: p, state: wormQueued, injected: n.cycle, waitFrom: n.cycle, claims: w.claims[:0]}
 	n.nextID++
 	w.flits = n.wormFlits(p)
 	key := flowKey{p.Src, p.Dst}
@@ -550,8 +565,35 @@ func (n *Net) Inject(p network.Packet) error {
 	n.ready.add(f.idx)
 	n.queued[p.Src]++
 	n.stats.Injected++
+	if n.obs != nil {
+		msg, pkt, parent := w.identity()
+		n.obs.Event("flit.queued", n.cycle, msg, pkt, parent)
+	}
 	return nil
 }
+
+// syntheticMsgBase offsets the per-worm message identities synthesized for
+// packets the messaging layer did not trace, keeping them disjoint from
+// hub-allocated ids (which are small and sequential).
+const syntheticMsgBase = uint64(1) << 32
+
+// identity resolves the observability identity a worm's events carry: the
+// packet's stamped identity when a messaging layer traced it, otherwise a
+// synthetic per-worm identity so raw flit workloads (netload's generators
+// inject packets directly, with no protocol above) still reconstruct into
+// per-message span trees.
+func (w *worm) identity() (msg, pkt, parent uint64) {
+	if w.packet.Msg != 0 || w.packet.Span != 0 {
+		return w.packet.Msg, w.packet.Pkt, w.packet.Span
+	}
+	return syntheticMsgBase + w.id, w.id + 1, 0
+}
+
+// SetFlitObserver attaches (or, with nil, detaches) a flit-level recording
+// scope. Attach before ticking; the emission points are shared between the
+// dense and event-driven engines, so recorded traces are byte-identical
+// across both.
+func (n *Net) SetFlitObserver(s *obs.FlitScope) { n.obs = s }
 
 // wormFlits computes a worm's length: head + payload + tail, padded in CR
 // mode to the deterministic path length so the worm spans source to

@@ -69,6 +69,22 @@ func (n *Node) Event(name string) {
 	n.Obs.Event(name)
 }
 
+// HandleBegin enters the destination-handler context for a received packet
+// carrying the given observability identity: until the matching HandleEnd,
+// everything the handler records — including acknowledgements and replies
+// it sends — is attributed to the packet's message, and a dispatch span
+// linked to the sender's span marks the handler's execution. With no
+// observer attached both calls are no-ops.
+func (n *Node) HandleBegin(msg, link, pkt uint64) obs.DispatchCtx {
+	return n.Obs.BeginDispatch("cmam.dispatch", msg, link, pkt)
+}
+
+// HandleEnd closes the dispatch begun by HandleBegin, restoring the node's
+// previous message context.
+func (n *Node) HandleEnd(ctx obs.DispatchCtx) {
+	n.Obs.EndDispatch(ctx)
+}
+
 // Machine is a set of nodes sharing one network substrate.
 type Machine struct {
 	Net   network.Network

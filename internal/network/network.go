@@ -41,6 +41,13 @@ type Packet struct {
 	// ever observes the payload.
 	Corrupt bool
 
+	// Msg, Span, and Pkt are observability identities stamped by the
+	// sending messaging layer (see internal/obs): the causal message the
+	// packet belongs to, the sender's open span (the packet's causal parent
+	// at the receiver), and the packet's own id. All zero when tracing is
+	// off; the substrates carry them end to end but never interpret them.
+	Msg, Span, Pkt uint64
+
 	flow uint64 // per-(src,dst) injection sequence, set by the network
 }
 

@@ -38,6 +38,12 @@ type NI struct {
 	sendData   []network.Word
 	sendStaged bool
 
+	// Observability identity staged alongside the packet (StageTrace).
+	// Pure simulator-side metadata: staging it models no device access and
+	// costs no Access counters, so the calibrated dev-charge cross-checks
+	// are unaffected.
+	sendMsg, sendSpan, sendPkt uint64
+
 	// Receive staging register: the packet at the head of the FIFO.
 	recv      network.Packet
 	recvValid bool
@@ -83,6 +89,15 @@ func (n *NI) StageDest(dst int, tag network.Tag) {
 	n.sendHead = 0
 	n.sendData = nil
 	n.sendStaged = true
+	n.sendMsg, n.sendSpan, n.sendPkt = 0, 0, 0
+}
+
+// StageTrace attaches observability identity (message, parent span, packet
+// id) to the staged packet. It models no device access — tracing must not
+// perturb the Access counters the dev-charge cross-checks audit — and is
+// cleared by StageDest along with the rest of the staging registers.
+func (n *NI) StageTrace(msg, span, pkt uint64) {
+	n.sendMsg, n.sendSpan, n.sendPkt = msg, span, pkt
 }
 
 // StageHead stores the protocol metadata word (one device store).
@@ -111,6 +126,9 @@ func (n *NI) Push() error {
 		Tag:  n.sendTag,
 		Head: n.sendHead,
 		Data: n.sendData,
+		Msg:  n.sendMsg,
+		Span: n.sendSpan,
+		Pkt:  n.sendPkt,
 	})
 	if err != nil {
 		return err
@@ -120,7 +138,18 @@ func (n *NI) Push() error {
 	n.sendHead = 0
 	n.sendData = nil
 	n.sendStaged = false
+	n.sendMsg, n.sendSpan, n.sendPkt = 0, 0, 0
 	return nil
+}
+
+// RecvTrace returns the observability identity carried by the staged
+// received packet (all zero when tracing was off at the sender). Like
+// StageTrace it models no device access.
+func (n *NI) RecvTrace() (msg, span, pkt uint64) {
+	if !n.recvValid {
+		return 0, 0, 0
+	}
+	return n.recv.Msg, n.recv.Span, n.recv.Pkt
 }
 
 // SendOK reads the status register confirming the previous send: true when

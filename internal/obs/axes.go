@@ -80,6 +80,8 @@ var eventAxes = map[string]Axis{
 
 	// CMAM mechanism layer.
 	"cmam.stale.xfer": AxisFaultTol,
+	"cmam.send":       AxisBase,
+	"cmam.dispatch":   AxisBase,
 
 	// Finite-sequence protocol on CR (Figure 5).
 	"crfinite.start":        AxisBase,
@@ -104,6 +106,24 @@ var eventAxes = map[string]Axis{
 	// Control network.
 	"ctrlnet.combine.done": AxisOther,
 	"ctrlnet.scan.done":    AxisOther,
+
+	// Flit-level transit (emitted by the obs FlitScope from the shared
+	// engine functions of internal/flitnet). Queue/backpressure waits are
+	// buffer-management costs; kills, retries, and backoff are the price of
+	// Compressionless Routing's fault tolerance; the transit itself is base
+	// data movement.
+	"flit.queued":          AxisBase,
+	"flit.delivered":       AxisBase,
+	"flit.xfer":            AxisBase,
+	"flit.wait.queue":      AxisBufferMgmt,
+	"flit.wait.blocked":    AxisBufferMgmt,
+	"flit.backpressure":    AxisBufferMgmt,
+	"flit.wait.backoff":    AxisFaultTol,
+	"flit.kill.timeout":    AxisFaultTol,
+	"flit.kill.rejected":   AxisFaultTol,
+	"flit.kill.misroute":   AxisFaultTol,
+	"flit.kill.unroutable": AxisFaultTol,
+	"flit.failed":          AxisFaultTol,
 }
 
 // AxisForEvent returns the Feature-axis attribution for a named event.

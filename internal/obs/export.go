@@ -38,6 +38,7 @@ var metricHelp = map[string]string{
 	"run_steps_total":         "stepper invocations executed by observed runs",
 	"run_stalls_total":        "observed runs that exhausted their round budget",
 	"trace_undescribed_total": "protocol events neither described nor deliberately skipped by the figure traces",
+	"flitnet_idle_skipped":    "cycles the event-driven flit engine fast-forwarded instead of stepping",
 }
 
 // MetricPrefix namespaces every exported series.
@@ -278,6 +279,19 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	for _, e := range t.events {
 		nameTID(e.Node)
+		args := map[string]any{"round": e.Round, "seq": e.Seq, "proto": e.Proto}
+		if e.MsgID != 0 {
+			args["msg"] = e.MsgID
+		}
+		if e.PktID != 0 {
+			args["pkt"] = e.PktID
+		}
+		if e.SpanID != 0 {
+			args["span"] = e.SpanID
+		}
+		if e.Parent != 0 {
+			args["parent"] = e.Parent
+		}
 		ce := chromeEvent{
 			Name:  e.Name,
 			Cat:   e.Axis.String(),
@@ -285,7 +299,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			TS:    e.TS,
 			PID:   chromePID,
 			TID:   tidOf(e.Node),
-			Args:  map[string]any{"round": e.Round, "seq": e.Seq, "proto": e.Proto},
+			Args:  args,
 		}
 		if e.Phase == PhaseInstant {
 			ce.Scope = "t" // thread-scoped instant marker

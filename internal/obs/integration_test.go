@@ -72,15 +72,44 @@ func TestObsMachineIntegration(t *testing.T) {
 		t.Fatal("hub clock never ticked")
 	}
 
-	spans := 0
+	spans := make(map[string]uint64)
 	for _, e := range h.Trace.Events() {
 		if e.Phase == obs.PhaseComplete {
-			spans++
+			spans[e.Name]++
 		}
 	}
-	// One transfer seen from both ends: src and dst spans.
-	if spans != 2 {
-		t.Fatalf("recorded %d spans, want 2", spans)
+	// One transfer seen from both ends: src and dst rule spans.
+	if spans["finite.xfer.src"] != 1 || spans["finite.xfer.dst"] != 1 {
+		t.Fatalf("rule spans = %v, want one finite.xfer.src and one finite.xfer.dst", spans)
+	}
+	// Every packet push opens a cmam.send builder span and every dispatch a
+	// cmam.dispatch span.
+	if spans["cmam.send"] != sent+h.Metrics.CounterValue(obs.Key{Name: "packets_sent_total", Node: 1, Proto: "cmam"}) {
+		t.Fatalf("cmam.send spans = %d, want one per packet pushed", spans["cmam.send"])
+	}
+	if spans["cmam.dispatch"] != recv+h.Metrics.CounterValue(obs.Key{Name: "packets_received_total", Node: 0, Proto: "cmam"}) {
+		t.Fatalf("cmam.dispatch spans = %d, want one per packet dispatched", spans["cmam.dispatch"])
+	}
+	// The causal chain closed: some event at the destination carries the
+	// same message identity the source originated.
+	var srcMsg uint64
+	for _, e := range h.Trace.Events() {
+		if e.Name == "finite.start" {
+			srcMsg = e.MsgID
+		}
+	}
+	if srcMsg == 0 {
+		t.Fatal("finite.start carries no message identity")
+	}
+	linked := false
+	for _, e := range h.Trace.Events() {
+		if e.Node == 1 && e.MsgID == srcMsg {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		t.Fatalf("no destination event carries message %d", srcMsg)
 	}
 }
 

@@ -33,6 +33,12 @@ type Hub struct {
 	enabled atomic.Bool
 	round   uint64
 	nodes   map[int]*NodeScope
+
+	// Causal-identity allocators for per-message span tracing: message,
+	// packet, and span ids are hub-global so one id never names two things
+	// within a run, and allocation order is deterministic (single-threaded
+	// simulator), so traces are reproducible byte for byte.
+	nextMsg, nextPkt, nextSpan uint64
 }
 
 // NewHub returns an enabled hub with an empty registry and tracer.
@@ -99,10 +105,15 @@ type eventEntry struct {
 	spanLat *Histogram // transfer latency, end rules only
 }
 
-// spanStart remembers where an open span began.
+// spanStart remembers where an open span began, and the causal identity
+// captured at the opening event so the close attributes the whole span to
+// the message that started it.
 type spanStart struct {
-	ts    uint64
-	round uint64
+	ts     uint64
+	round  uint64
+	id     uint64 // span id, allocated at open
+	parent uint64 // enclosing builder span at open, if any
+	msg    uint64 // current message at open
 }
 
 // NodeScope records one node's dynamic behavior. The zero value of the
@@ -121,6 +132,14 @@ type NodeScope struct {
 	events    map[string]*eventEntry
 	lastRound map[string]uint64 // per proto, for step latency
 	spans     map[string]spanStart
+
+	// Message context: the message and packet identity events on this node
+	// are currently attributable to, plus the open builder-span stack (see
+	// span.go). All three are plain fields mutated on the single simulator
+	// thread, so context switches are two stores — no allocation.
+	curMsg uint64
+	curPkt uint64
+	stack  []spanFrame
 }
 
 // define resolves the cached entry for a new event name (cold path).
@@ -159,12 +178,21 @@ func (s *NodeScope) Event(name string) {
 		e.stepLat.Observe(round - last)
 	}
 	s.lastRound[e.proto] = round
-	s.hub.Trace.Record(TraceEvent{Round: round, Node: s.node, Name: name, Proto: e.proto, Axis: e.axis})
+	s.hub.Trace.Record(TraceEvent{
+		Round: round, Node: s.node, Name: name, Proto: e.proto, Axis: e.axis,
+		MsgID: s.curMsg, PktID: s.curPkt, Parent: s.topSpan(),
+	})
 	if !e.hasRule {
 		return
 	}
 	if !e.rule.end {
-		s.spans[e.rule.span] = spanStart{ts: s.hub.Trace.Now(), round: round}
+		s.spans[e.rule.span] = spanStart{
+			ts:     s.hub.Trace.Now(),
+			round:  round,
+			id:     s.hub.newSpanID(),
+			parent: s.topSpan(),
+			msg:    s.curMsg,
+		}
 		return
 	}
 	begin, open := s.spans[e.rule.span]
@@ -174,14 +202,17 @@ func (s *NodeScope) Event(name string) {
 	delete(s.spans, e.rule.span)
 	end := s.hub.Trace.Now()
 	s.hub.Trace.Record(TraceEvent{
-		Phase: PhaseComplete,
-		TS:    begin.ts,
-		Dur:   end - begin.ts,
-		Round: begin.round,
-		Node:  s.node,
-		Name:  e.rule.span,
-		Proto: e.proto,
-		Axis:  e.axis,
+		Phase:  PhaseComplete,
+		TS:     begin.ts,
+		Dur:    end - begin.ts,
+		Round:  begin.round,
+		Node:   s.node,
+		Name:   e.rule.span,
+		Proto:  e.proto,
+		Axis:   e.axis,
+		MsgID:  begin.msg,
+		SpanID: begin.id,
+		Parent: begin.parent,
 	})
 	e.spanLat.Observe(round - begin.round)
 }

@@ -86,6 +86,61 @@ func TestObsTracerMonotonicTimestamps(t *testing.T) {
 	}
 }
 
+// TestObsTracerSpanInstantInterleaving holds Record's clock invariant when
+// PhaseComplete spans (which keep the caller's TS/Dur) interleave with
+// instants: a span whose end passes the clock advances it, a span that ends
+// in the past does not, and the next instant always lands strictly after
+// everything recorded so far.
+func TestObsTracerSpanInstantInterleaving(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(TraceEvent{Round: 1, Name: "a"}) // instant at 100
+	if tr.Now() != 1*RoundUnits {
+		t.Fatalf("clock %d after first instant, want %d", tr.Now(), RoundUnits)
+	}
+
+	// A span ending beyond the clock advances it (the e.TS+e.Dur > lastTS
+	// branch taken).
+	tr.Record(TraceEvent{Phase: PhaseComplete, TS: 100, Dur: 250, Name: "span.long"})
+	if tr.Now() != 350 {
+		t.Fatalf("clock %d after long span, want 350", tr.Now())
+	}
+
+	// A span entirely in the past leaves the clock alone (branch not taken).
+	tr.Record(TraceEvent{Phase: PhaseComplete, TS: 120, Dur: 10, Name: "span.past"})
+	if tr.Now() != 350 {
+		t.Fatalf("clock %d after past span, want 350 unchanged", tr.Now())
+	}
+
+	// The next instant's natural position (round 2 -> 200) is already
+	// covered by the long span, so it must be bumped past the clock.
+	tr.Record(TraceEvent{Round: 2, Name: "b"})
+	// And a later round beyond the clock lands at its natural position.
+	tr.Record(TraceEvent{Round: 4, Name: "c"})
+
+	ev := tr.Events()
+	if got := ev[3].TS; got != 351 {
+		t.Fatalf("bumped instant at %d, want 351", got)
+	}
+	if got := ev[4].TS; got != 4*RoundUnits {
+		t.Fatalf("later-round instant at %d, want %d", got, 4*RoundUnits)
+	}
+	// Spans keep the caller's TS/Dur verbatim.
+	if ev[1].TS != 100 || ev[1].Dur != 250 || ev[2].TS != 120 || ev[2].Dur != 10 {
+		t.Fatalf("span TS/Dur rewritten: %+v %+v", ev[1], ev[2])
+	}
+	// Instants are strictly monotonic across the whole stream.
+	last := uint64(0)
+	for i, e := range ev {
+		if e.Phase != PhaseInstant {
+			continue
+		}
+		if i > 0 && e.TS <= last {
+			t.Fatalf("instant %d at TS %d not after %d", i, e.TS, last)
+		}
+		last = e.TS
+	}
+}
+
 func TestObsTracerLimit(t *testing.T) {
 	tr := NewTracer(2)
 	for i := 0; i < 5; i++ {

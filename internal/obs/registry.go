@@ -227,6 +227,11 @@ func (r *Registry) Histogram(k Key, bounds []uint64) *Histogram {
 	return h
 }
 
+// CounterKeys returns every counter key in the registry's deterministic
+// export order, for consumers that audit the full counter set (the
+// critical-path reconciler cross-checks each against the trace).
+func (r *Registry) CounterKeys() []Key { return sortedKeys(r.counters) }
+
 // CounterValue returns the value of a counter, zero if it was never
 // created. Convenient for tests and reports.
 func (r *Registry) CounterValue(k Key) uint64 {

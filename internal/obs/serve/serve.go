@@ -7,6 +7,7 @@
 //	/metrics        Prometheus text exposition (scrapeable)
 //	/snapshot       JSON document: clock, trace stats, and the full registry
 //	/trace          Chrome trace-event JSON of everything recorded so far
+//	/critpath       per-message critical-path latency attribution (text)
 //	/debug/pprof/   the standard net/http/pprof handlers (host-side profiles)
 //
 // The simulator is single-threaded by design, so the server serializes all
@@ -28,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"msglayer/internal/critpath"
 	"msglayer/internal/obs"
 )
 
@@ -65,6 +67,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/critpath", s.handleCritpath)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -146,6 +149,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
 	fmt.Fprintln(w, "  /snapshot       JSON snapshot (clock, trace stats, registry)")
 	fmt.Fprintln(w, "  /trace          Chrome trace-event JSON (perfetto-loadable)")
+	fmt.Fprintln(w, "  /critpath       per-message critical-path latency attribution (text)")
 	fmt.Fprintln(w, "  /debug/pprof/   host-side Go profiles")
 }
 
@@ -190,5 +194,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	s.render(w, "application/json", func(b *bytes.Buffer) error {
 		return s.hub.Trace.WriteChromeTrace(b)
+	})
+}
+
+// handleCritpath renders the live per-message critical-path report: the
+// trace recorded so far, reconstructed and decomposed on demand. A trace
+// that dropped events is reported as such rather than analyzed as if it
+// were complete.
+func (s *Server) handleCritpath(w http.ResponseWriter, _ *http.Request) {
+	s.render(w, "text/plain; charset=utf-8", func(b *bytes.Buffer) error {
+		if d := s.hub.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(b, "WARNING: trace dropped %d events; the attribution below is partial\n\n", d)
+		}
+		return critpath.WriteText(b, critpath.Analyze(s.hub.Trace.Events()))
 	})
 }

@@ -107,6 +107,12 @@ func TestObsServeTraceAndIndex(t *testing.T) {
 	}
 }
 
+func TestObsServeCritpathGolden(t *testing.T) {
+	srv := New(fixedHub(t))
+	body := get(t, srv, "/critpath")
+	checkGolden(t, "critpath.golden", body)
+}
+
 func TestObsServeStartShutdownNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 
@@ -114,7 +120,7 @@ func TestObsServeStartShutdownNoGoroutineLeak(t *testing.T) {
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{"/metrics", "/snapshot", "/trace", "/debug/pprof/"} {
+	for _, path := range []string{"/metrics", "/snapshot", "/trace", "/critpath", "/debug/pprof/"} {
 		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

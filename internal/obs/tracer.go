@@ -35,6 +35,15 @@ type TraceEvent struct {
 	Dur uint64
 	// Phase distinguishes instant events from spans.
 	Phase Phase
+	// MsgID is the causal message identity the event belongs to; 0 when
+	// the event is not attributable to a message.
+	MsgID uint64
+	// PktID is the packet identity within the message; 0 when unknown.
+	PktID uint64
+	// SpanID identifies a PhaseComplete span; 0 for instants.
+	SpanID uint64
+	// Parent is the enclosing span's SpanID; 0 at the root.
+	Parent uint64
 }
 
 // RoundUnits is the width of one scheduler round in tracer time units.

@@ -78,7 +78,8 @@ type FiniteTransfer struct {
 	data  []network.Word
 	state int
 	seg   cmam.SegmentID
-	sent  int // words injected so far
+	sent  int    // words injected so far
+	msg   uint64 // observability message identity, 0 when untraced
 
 	idle      int // pumps without progress, for the retransmission timeout
 	lastState int
@@ -119,14 +120,22 @@ func (f *Finite) Start(dst int, data []network.Word) (*FiniteTransfer, error) {
 	f.nextID++
 	f.outgoing[t.id] = t
 
+	// The transfer is one causal message: everything from here to the final
+	// acknowledgement attributes to this identity.
+	obsScope := f.ep.Node().Obs
+	prevMsg := obsScope.CurrentMsg()
+	t.msg = obsScope.NewMsg()
+
 	// Step 1: allocation request, charged to buffer management.
 	err := f.ep.SendAM(dst, HFiniteAllocReq, cost.BufferMgmt, f.sched().AllocRequestSend,
 		network.Word(t.id), network.Word(len(data)))
 	if err != nil {
+		obsScope.SwapMsg(prevMsg)
 		delete(f.outgoing, t.id)
 		return nil, err
 	}
 	f.ep.Node().Event("finite.start")
+	obsScope.SwapMsg(prevMsg)
 	return t, nil
 }
 
@@ -147,16 +156,26 @@ func (f *Finite) Pump() error {
 		return err
 	}
 	for _, t := range f.outgoing {
-		if t.state == finiteSending {
-			if err := t.pumpSend(); err != nil {
-				return err
-			}
-		}
-		if err := t.checkTimeout(); err != nil {
+		if err := t.pump(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// pump advances one outgoing transfer inside its message context, so data
+// packets, backpressure probes, and retransmissions attribute to the
+// transfer they belong to.
+func (t *FiniteTransfer) pump() error {
+	obsScope := t.f.ep.Node().Obs
+	prev := obsScope.SwapMsg(t.msg)
+	defer obsScope.SwapMsg(prev)
+	if t.state == finiteSending {
+		if err := t.pumpSend(); err != nil {
+			return err
+		}
+	}
+	return t.checkTimeout()
 }
 
 // checkTimeout applies the retransmission timeout to a stalled transfer.

@@ -81,6 +81,20 @@ type Conn struct {
 	sendq    []uint32 // assigned but not yet injected (backpressure)
 	idlePump int      // Pump calls without ack progress
 	closed   bool
+
+	// seqMsg maps in-flight sequence numbers to their observability message
+	// identities, so deferred injections and retransmissions attribute to
+	// the Send that buffered them. Allocated lazily: nil while untraced.
+	seqMsg map[uint32]uint64
+}
+
+// msgOf returns the message identity assigned to a sequence number, 0 when
+// untraced.
+func (c *Conn) msgOf(seq uint32) uint64 {
+	if c.seqMsg == nil {
+		return 0
+	}
+	return c.seqMsg[seq]
 }
 
 // inConn is the receiver side of one ordered channel.
@@ -160,6 +174,18 @@ func (c *Conn) Send(data ...network.Word) error {
 	seq := c.nextSeq
 	c.nextSeq++
 
+	// Each sequenced packet is one causal message: the buffering below, the
+	// (possibly deferred) injection, any retransmission, and the eventual
+	// acknowledgement all attribute to it.
+	prevMsg := node.Obs.CurrentMsg()
+	if msg := node.Obs.NewMsg(); msg != 0 {
+		if c.seqMsg == nil {
+			c.seqMsg = make(map[uint32]uint64)
+		}
+		c.seqMsg[seq] = msg
+	}
+	defer node.Obs.SwapMsg(prevMsg)
+
 	// Step 1: buffer the message to support retransmission (fault
 	// tolerance), plus sequence-number bookkeeping (in-order delivery)
 	// and the base injection cost.
@@ -186,17 +212,21 @@ func (c *Conn) flush() error {
 			c.sendq = c.sendq[1:]
 			continue
 		}
+		prev := node.Obs.SwapMsg(c.msgOf(seq))
 		err := c.inject(seq, data)
 		if errors.Is(err, network.ErrBackpressure) {
 			node.Charge(cost.Base, retryProbe)
 			node.Event("stream.backpressure")
+			node.Obs.SwapMsg(prev)
 			node.Obs.SendQueueDepth(len(c.sendq))
 			return nil
 		}
 		if err != nil {
+			node.Obs.SwapMsg(prev)
 			return err
 		}
 		node.Event("stream.packet.sent")
+		node.Obs.SwapMsg(prev)
 		c.sendq = c.sendq[1:]
 	}
 	node.Obs.SendQueueDepth(0)
@@ -272,6 +302,8 @@ func (c *Conn) retransmit(seq uint32) error {
 		return nil // already acknowledged
 	}
 	node := c.s.ep.Node()
+	prev := node.Obs.SwapMsg(c.msgOf(seq))
+	defer node.Obs.SwapMsg(prev)
 	node.Charge(cost.FaultTol, c.s.sched().Retransmit)
 	node.Event("stream.retransmit")
 	err := c.inject(seq, data)
@@ -412,6 +444,7 @@ func (s *Stream) handleAck(src int, args []network.Word) {
 	through := uint32(args[1])
 	for seq := c.oldest; seq <= through; seq++ {
 		delete(c.unacked, seq)
+		delete(c.seqMsg, seq)
 	}
 	if through >= c.oldest {
 		c.oldest = through + 1

@@ -93,7 +93,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "critpath:", err)
 			return 1
 		}
-		if err := critpath.Reconcile(h); err != nil {
+		// A trace that dropped events cannot reconcile against the
+		// registry; report it as partial instead of failing the run.
+		if d := h.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(stderr, "critpath: warning: %s: trace dropped %d events; report is partial and skips reconciliation\n", name, d)
+		} else if err := critpath.Reconcile(h); err != nil {
 			fmt.Fprintf(stderr, "critpath: %s: reconciliation failed: %v\n", name, err)
 			return 1
 		}
@@ -126,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		for _, p := range points {
+			if d := p.hub.Trace.Dropped(); d > 0 {
+				fmt.Fprintf(stderr, "critpath: warning: flit %s load %.2f: trace dropped %d events; report is partial and skips reconciliation\n", p.mode, p.load, d)
+				continue
+			}
 			if err := critpath.Reconcile(p.hub); err != nil {
 				fmt.Fprintf(stderr, "critpath: flit %s load %.2f: reconciliation failed: %v\n", p.mode, p.load, err)
 				return 1
@@ -222,9 +230,6 @@ func runScenario(name string, words int) (*obs.Hub, error) {
 	if _, err := experiments.RunCanonical(name, words); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if d := h.Trace.Dropped(); d > 0 {
-		return nil, fmt.Errorf("%s: trace dropped %d events", name, d)
-	}
 	return h, nil
 }
 
@@ -267,9 +272,6 @@ func runFlitPoint(mode flitnet.Mode, load float64, cycles int, dense bool) (*obs
 				break
 			}
 		}
-	}
-	if d := h.Trace.Dropped(); d > 0 {
-		return nil, fmt.Errorf("flit %s load %.2f: trace dropped %d events", mode, load, d)
 	}
 	return h, nil
 }

@@ -13,6 +13,7 @@
 //	msgbench -metrics m.txt   # dump runtime metrics ("-" = stdout)
 //	msgbench -trace-out t.json  # dump a Chrome trace of the runs
 //	msgbench -critpath cp.txt # per-message critical-path attribution ("-" = stdout)
+//	msgbench -timeline-out tl.json  # windowed metrics timeline (.csv for CSV)
 //	msgbench -serve :8080     # live /metrics, /snapshot, /trace, /debug/pprof/
 package main
 
@@ -24,12 +25,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"msglayer/internal/critpath"
 	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/serve"
+	"msglayer/internal/obs/timeline"
 )
 
 func main() {
@@ -75,20 +78,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"write a per-message critical-path attribution report of the runs (\"-\" = stdout)")
 	serveAddr := fs.String("serve", "",
 		"serve live observability on this address (/metrics, /snapshot, /trace, /debug/pprof/) and keep serving after the runs until interrupted")
+	timelineOut := fs.String("timeline-out", "",
+		"sample the runs' metrics into windowed deltas on the machine-round clock and write the timeline (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON)")
+	timelineInterval := fs.Int("timeline-interval", 100, "timeline window width in machine rounds")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *timelineInterval < 1 {
+		fmt.Fprintln(stderr, "msgbench: -timeline-interval must be >= 1")
+		return 1
+	}
 
 	var hub *obs.Hub
-	if *metrics != "" || *traceOut != "" || *critpathOut != "" || *serveAddr != "" {
+	if *metrics != "" || *traceOut != "" || *critpathOut != "" || *serveAddr != "" || *timelineOut != "" {
 		hub = obs.NewHub()
 		experiments.SetObserver(hub)
 		defer experiments.SetObserver(nil)
+	}
+	// The timeline sampler rides the hub's round clock: every machine.Run
+	// round ticks the hub, and the sampler closes windows as the shared
+	// round counter crosses interval boundaries across all experiments.
+	var sampler *timeline.Sampler
+	if *timelineOut != "" {
+		sampler = timeline.New(hub.Metrics, timeline.Config{Interval: uint64(*timelineInterval)})
+		hub.SetTickListener(sampler.Advance)
 	}
 	ctx := context.Background()
 	var srv *serve.Server
 	if *serveAddr != "" {
 		srv = serve.New(hub)
+		srv.SetTimeline(sampler)
 		if err := srv.Start(*serveAddr); err != nil {
 			fmt.Fprintln(stderr, "msgbench:", err)
 			return 1
@@ -141,6 +160,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "msgbench:", err)
 		return 1
+	}
+	if sampler != nil {
+		var recErr error
+		finish := func() {
+			sampler.Flush(hub.Round())
+			// Window deltas must sum exactly to the final registry totals.
+			recErr = sampler.Reconcile()
+		}
+		if srv != nil {
+			srv.Sync(finish)
+		} else {
+			finish()
+		}
+		if recErr != nil {
+			fmt.Fprintln(stderr, "msgbench: timeline reconciliation:", recErr)
+			return 1
+		}
 	}
 
 	mismatches := 0
@@ -206,6 +242,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return critpath.WriteText(w, critpath.Analyze(hub.Trace.Events()))
 			}
 			if err := writeTo(*critpathOut, stdout, render); err != nil {
+				fmt.Fprintln(stderr, "msgbench:", err)
+				return 1
+			}
+		}
+		if sampler != nil {
+			var tl *timeline.Timeline
+			snap := func() { tl = sampler.Snapshot() }
+			if srv != nil {
+				srv.Sync(snap)
+			} else {
+				snap()
+			}
+			render := func(w io.Writer) error {
+				if strings.HasSuffix(*timelineOut, ".csv") {
+					return timeline.WriteCSV(w, tl)
+				}
+				return timeline.WriteJSON(w, tl)
+			}
+			if err := writeTo(*timelineOut, stdout, render); err != nil {
 				fmt.Fprintln(stderr, "msgbench:", err)
 				return 1
 			}

@@ -113,6 +113,60 @@ func TestObsMsgbenchMetricsAndTrace(t *testing.T) {
 	}
 }
 
+// TestObsMsgbenchTimeline exercises -timeline-out: the runs sample into
+// round-clock windows, reconcile, and render identically across runs.
+func TestObsMsgbenchTimeline(t *testing.T) {
+	render := func(name string) string {
+		dir := t.TempDir()
+		tl := filepath.Join(dir, name)
+		var out, errOut strings.Builder
+		if code := run([]string{"-table", "2", "-quiet", "-timeline-out", tl, "-timeline-interval", "16"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		body, err := os.ReadFile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	body := render("tl.json")
+	var doc struct {
+		Schema   int    `json:"schema"`
+		Interval uint64 `json:"interval"`
+		Digest   string `json:"digest"`
+		Windows  []struct {
+			Counters []struct {
+				Key string `json:"key"`
+			} `json:"counters"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("timeline does not parse: %v", err)
+	}
+	if doc.Interval != 16 || doc.Digest == "" || len(doc.Windows) == 0 {
+		t.Fatalf("timeline incomplete: interval=%d digest=%q windows=%d", doc.Interval, doc.Digest, len(doc.Windows))
+	}
+	sawPackets := false
+	for _, w := range doc.Windows {
+		for _, c := range w.Counters {
+			if strings.HasPrefix(c.Key, "packets_sent_total") {
+				sawPackets = true
+			}
+		}
+	}
+	if !sawPackets {
+		t.Error("no packets_sent_total deltas in any window")
+	}
+	if again := render("tl.json"); again != body {
+		t.Error("timeline differs between identical runs")
+	}
+
+	csvBody := render("tl.csv")
+	if !strings.HasPrefix(csvBody, "window,start,end,kind,key,value") {
+		t.Errorf("CSV header wrong:\n%.200s", csvBody)
+	}
+}
+
 // TestObsMsgbenchCritpath exercises -critpath: the run's trace must
 // reconstruct into a per-message attribution report.
 func TestObsMsgbenchCritpath(t *testing.T) {

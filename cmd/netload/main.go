@@ -15,6 +15,7 @@
 //	netload -parallel 8                # fan the load/mode grid over 8 workers
 //	netload -metrics m.txt             # dump flit-level metrics ("-" = stdout)
 //	netload -trace-out t.json          # Chrome trace with one span per point
+//	netload -timeline-out tl.json      # windowed metrics timeline per point (.csv for CSV)
 //	netload -cpuprofile cpu.out        # pprof CPU profile of the sweep
 //	netload -memprofile mem.out        # pprof allocation profile at exit
 //	netload -dense                     # dense reference engine (baseline)
@@ -23,6 +24,8 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +40,7 @@ import (
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/serve"
+	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
 	"msglayer/internal/prof"
 	"msglayer/internal/report"
@@ -60,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	loadsArg := fs.String("loads", "0.02,0.05,0.1,0.2,0.3", "offered loads, packets/node/cycle")
 	cycles := fs.Int("cycles", 2000, "measurement cycles per point")
 	seed := fs.Int64("seed", 1, "traffic seed")
-	csv := fs.Bool("csv", false, "emit CSV")
+	csvOut := fs.Bool("csv", false, "emit CSV")
 	vcs := fs.Int("vc", 1, "virtual channels (adaptive mesh needs >= 2)")
 	patternArg := fs.String("pattern", "uniform",
 		"traffic pattern: uniform, hotspot[:node:permille], transpose, bitcomplement, neighbor")
@@ -75,6 +79,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		"use the retained dense reference engine (scan every lane every cycle) instead of the event-driven scheduler; results are byte-identical, only speed differs")
 	critpathOut := fs.String("critpath", "",
 		"trace every worm's transit and write a per-message critical-path attribution report (\"-\" = stdout); reconciled exactly against per-point counters")
+	timelineOut := fs.String("timeline-out", "",
+		"sample every point's metrics into simulated-cycle windows and write the timelines (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON); adds a per-phase analysis to the text report")
+	timelineInterval := fs.Int("timeline-interval", 100, "timeline window width in simulated cycles")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -180,7 +187,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		thru, lat float64
 		st        flitnet.Stats
 		idle      uint64
-		hub       *obs.Hub // per-point span-traced hub, -critpath only
+		hub       *obs.Hub           // per-point span-traced hub, -critpath only
+		tl        *timeline.Timeline // per-point windowed timeline, -timeline-out only
+	}
+	if *timelineInterval < 1 {
+		fmt.Fprintln(stderr, "netload: -timeline-interval must be >= 1")
+		return 1
 	}
 	jobs := len(loads) * len(modes)
 	results := make([]pointResult, jobs)
@@ -190,19 +202,37 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err != nil {
 			return err
 		}
-		// With -critpath each point traces its worms into its own hub, so
-		// the grid still fans across workers; reports merge in input order.
+		// With -critpath or -timeline-out each point observes itself into
+		// its own hub, so the grid still fans across workers; reports merge
+		// in input order and stay byte-identical at any worker count.
 		var pointHub *obs.Hub
 		var scope *obs.FlitScope
-		if *critpathOut != "" {
+		if *critpathOut != "" || *timelineOut != "" {
 			pointHub = obs.NewHub()
 			scope = pointHub.FlitScope()
 		}
-		thru, lat, st, idle, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed, *dense, scope)
+		var sampler *timeline.Sampler
+		if *timelineOut != "" {
+			sampler = timeline.New(pointHub.Metrics, timeline.Config{Interval: uint64(*timelineInterval)})
+		}
+		thru, lat, st, idle, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed, *dense, scope, sampler)
 		if err != nil {
 			return err
 		}
-		results[i] = pointResult{thru, lat, st, idle, pointHub}
+		res := pointResult{thru: thru, lat: lat, st: st, idle: idle}
+		if *critpathOut != "" {
+			res.hub = pointHub
+		}
+		if sampler != nil {
+			// Every window's deltas must sum exactly to the point's final
+			// registry totals; a sampler that cannot account for itself is
+			// a bug, not a report.
+			if err := sampler.Reconcile(); err != nil {
+				return fmt.Errorf("%s load %.2f: timeline reconciliation: %w", mode, load, err)
+			}
+			res.tl = sampler.Snapshot()
+		}
+		results[i] = res
 		return nil
 	})
 	if err != nil {
@@ -256,6 +286,50 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}
 
+	type timelinePoint struct {
+		Mode         string             `json:"mode"`
+		LoadPermille int                `json:"load_permille"`
+		Timeline     *timeline.Timeline `json:"timeline"`
+	}
+	var tlPoints []timelinePoint
+	if *timelineOut != "" {
+		for i := 0; i < prefix; i++ {
+			if results[i].tl == nil {
+				continue
+			}
+			tlPoints = append(tlPoints, timelinePoint{
+				Mode:         modes[i%len(modes)].String(),
+				LoadPermille: int(loads[i/len(modes)] * 1000),
+				Timeline:     results[i].tl,
+			})
+		}
+		err := writeTo(*timelineOut, stdout, func(w io.Writer) error {
+			if strings.HasSuffix(*timelineOut, ".csv") {
+				cw := csv.NewWriter(w)
+				if err := cw.Write(timeline.CSVHeader("mode", "load_permille")); err != nil {
+					return err
+				}
+				for _, p := range tlPoints {
+					if err := timeline.AppendCSV(cw, []string{p.Mode, strconv.Itoa(p.LoadPermille)}, p.Timeline); err != nil {
+						return err
+					}
+				}
+				cw.Flush()
+				return cw.Error()
+			}
+			doc := struct {
+				Points []timelinePoint `json:"points"`
+			}{tlPoints}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
+	}
+
 	if hub != nil {
 		if *metricsOut != "" {
 			if err := writeTo(*metricsOut, stdout, hub.Metrics.WritePrometheus); err != nil {
@@ -273,11 +347,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	title := fmt.Sprintf("Delivered throughput (pkts/node/kcycle) and mean latency (cycles) vs offered load (x = load*1000), %s, %s traffic",
 		*topoArg, pattern.Name())
-	if *csv {
+	if *csvOut {
 		fmt.Fprint(stdout, report.CSV("load_permille", names, points))
 	} else {
 		fmt.Fprint(stdout, report.Series(title, "load", names, points))
 		fmt.Fprintf(stdout, "# idle cycles fast-forwarded: %d (event-driven engine; 0 under -dense)\n", idleTotal)
+		if len(tlPoints) > 0 {
+			// Per-phase overhead breakdowns: each point's run segmented into
+			// warmup/steady/burst/drain from its windowed event rates.
+			fmt.Fprintf(stdout, "\n# phase analysis (%d-cycle windows)\n", *timelineInterval)
+			for _, p := range tlPoints {
+				var b strings.Builder
+				fmt.Fprintf(&b, "%s routing, load %d/1000:\n", p.Mode, p.LoadPermille)
+				timeline.WritePhaseReport(&b, "  ", p.Timeline)
+				fmt.Fprint(stdout, b.String())
+			}
+		}
 	}
 	if hub != nil && hub.Trace.Dropped() > 0 {
 		fmt.Fprintf(stderr, "netload: warning: trace dropped %d events; exported traces are truncated\n", hub.Trace.Dropped())
@@ -298,8 +383,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // byte-identical either way (the differential tests hold the engines to
 // that), only the wall-clock cost differs — and the dense engine never
 // fast-forwards, so its idle count is always zero. A non-nil scope traces
-// every worm's transit for critical-path attribution.
-func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64, dense bool, scope *obs.FlitScope) (float64, float64, flitnet.Stats, uint64, error) {
+// every worm's transit for critical-path attribution; a non-nil sampler
+// rides the net's cycle listener and is flushed at the final cycle, so the
+// timeline is identical whichever engine ran the point.
+func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workload.Pattern, load float64, cycles int, seed int64, dense bool, scope *obs.FlitScope, sampler *timeline.Sampler) (float64, float64, flitnet.Stats, uint64, error) {
 	net, err := flitnet.New(flitnet.Config{
 		Topology:        topo,
 		Mode:            mode,
@@ -313,6 +400,9 @@ func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workloa
 	}
 	if scope != nil {
 		net.SetFlitObserver(scope)
+	}
+	if sampler != nil {
+		net.SetCycleListener(sampler.Advance)
 	}
 	nodes := net.Nodes()
 	gen, err := workload.NewGenerator(pattern, nodes, load, seed)
@@ -338,6 +428,9 @@ func measure(topo topology.Topology, mode flitnet.Mode, vcs int, pattern workloa
 				break
 			}
 		}
+	}
+	if sampler != nil {
+		sampler.Flush(net.Cycle())
 	}
 	st := net.FlitStats()
 	thru := float64(st.Delivered) / float64(nodes) / float64(cycles) * 1000

@@ -101,11 +101,11 @@ func TestRunErrors(t *testing.T) {
 // sane (at least the minimum path length).
 func TestMeasureMonotoneBelowSaturation(t *testing.T) {
 	topo := topology.MustFatTree(2, 2)
-	lo, latLo, _, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7, false, nil)
+	lo, latLo, _, _, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.02, 1500, 7, false, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, latHi, _, idle, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7, false, nil)
+	hi, latHi, _, idle, err := measure(topo, flitnet.Deterministic, 1, workload.Uniform{}, 0.10, 1500, 7, false, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,6 +381,93 @@ func TestObsNetloadCritpath(t *testing.T) {
 	}
 	if got := renderCP("-dense"); got != base {
 		t.Error("critpath report differs between flit engines")
+	}
+}
+
+// renderTimeline runs a small sweep with -timeline-out and returns the
+// stdout report and the timeline file contents.
+func renderTimeline(t *testing.T, name string, extra ...string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	tlPath := filepath.Join(dir, name)
+	var out, errOut strings.Builder
+	args := append([]string{"-loads", "0.05,0.2", "-cycles", "300", "-k", "2", "-levels", "2",
+		"-timeline-out", tlPath, "-timeline-interval", "64"}, extra...)
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d: %s", extra, code, errOut.String())
+	}
+	b, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), string(b)
+}
+
+// TestObsNetloadTimeline exercises -timeline-out: the JSON document carries
+// one reconciled timeline per sweep point, and the text report gains the
+// per-phase analysis section.
+func TestObsNetloadTimeline(t *testing.T) {
+	out, tl := renderTimeline(t, "tl.json")
+	var doc struct {
+		Points []struct {
+			Mode         string `json:"mode"`
+			LoadPermille int    `json:"load_permille"`
+			Timeline     struct {
+				Schema   int    `json:"schema"`
+				Interval uint64 `json:"interval"`
+				Digest   string `json:"digest"`
+				Windows  []struct {
+					End uint64 `json:"end"`
+				} `json:"windows"`
+			} `json:"timeline"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(tl), &doc); err != nil {
+		t.Fatalf("timeline JSON does not parse: %v", err)
+	}
+	if len(doc.Points) != 6 { // 3 modes x 2 loads
+		t.Fatalf("got %d timeline points, want 6", len(doc.Points))
+	}
+	for _, p := range doc.Points {
+		if p.Timeline.Interval != 64 || p.Timeline.Digest == "" || len(p.Timeline.Windows) == 0 {
+			t.Errorf("%s load %d: timeline incomplete: interval=%d digest=%q windows=%d",
+				p.Mode, p.LoadPermille, p.Timeline.Interval, p.Timeline.Digest, len(p.Timeline.Windows))
+		}
+	}
+	for _, want := range []string{"# phase analysis (64-cycle windows)", "steady", "by axis:", "deterministic routing, load 200/1000:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObsNetloadTimelineCSV checks the .csv spelling of -timeline-out.
+func TestObsNetloadTimelineCSV(t *testing.T) {
+	_, tl := renderTimeline(t, "tl.csv")
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "mode,load_permille,window,start,end,kind,key,value") {
+		t.Fatalf("CSV header wrong:\n%.300s", tl)
+	}
+	if !strings.Contains(tl, "\ncr,200,") {
+		t.Errorf("CSV missing cr load-200 rows:\n%.300s", tl)
+	}
+}
+
+// TestObsNetloadTimelineDeterminism is the timeline determinism contract:
+// the timeline file and the report (with its phase analysis) must be
+// byte-identical at any worker count and between the event-driven engine
+// and the dense reference.
+func TestObsNetloadTimelineDeterminism(t *testing.T) {
+	baseOut, baseTl := renderTimeline(t, "tl.json")
+	if out, tl := renderTimeline(t, "tl.json", "-parallel", "8"); tl != baseTl || out != baseOut {
+		t.Error("timeline output differs between -parallel 1 and -parallel 8")
+	}
+	denseOut, denseTl := renderTimeline(t, "tl.json", "-dense")
+	if denseTl != baseTl {
+		t.Error("timeline file differs between flit engines")
+	}
+	if stripIdleLines(denseOut) != stripIdleLines(baseOut) {
+		t.Error("report differs between flit engines beyond idle accounting")
 	}
 }
 

@@ -7,6 +7,8 @@
 //	nettrace -figure 4       # one figure
 //	nettrace -words 32       # transfer size for figures 3 and 5
 //	nettrace -packets 6      # packet count for figures 4 and 7
+//	nettrace -metrics m.txt  # dump the runs' metrics ("-" = stdout)
+//	nettrace -trace-out t.json  # Chrome trace-event JSON of the runs
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"msglayer/internal/obs"
 	"msglayer/internal/trace"
 )
 
@@ -29,8 +32,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	figure := fs.Int("figure", 0, "figure to trace (3, 4, 5, or 7); 0 = all")
 	words := fs.Int("words", 8, "message size in words for figures 3 and 5")
 	packets := fs.Int("packets", 4, "packet count for figures 4 and 7")
+	metricsOut := fs.String("metrics", "", "dump the figure runs' metrics to a file (\"-\" = stdout)")
+	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON of the figure runs (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// With -metrics/-trace-out the figure machines attach a hub, so the
+	// runs record full node scopes alongside the printed step diagrams.
+	var hub *obs.Hub
+	if *metricsOut != "" || *traceOut != "" {
+		hub = obs.NewHub()
+		trace.SetObserver(hub)
+		defer trace.SetObserver(nil)
 	}
 
 	runners := map[int]func() (trace.Trace, error){
@@ -55,5 +69,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, tr)
 	}
+
+	if hub != nil {
+		if *metricsOut != "" {
+			if err := writeTo(*metricsOut, stdout, hub.Metrics.WritePrometheus); err != nil {
+				fmt.Fprintln(stderr, "nettrace:", err)
+				return 1
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, stdout, hub.Trace.WriteChromeTrace); err != nil {
+				fmt.Fprintln(stderr, "nettrace:", err)
+				return 1
+			}
+		}
+		if d := hub.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(stderr, "nettrace: warning: trace dropped %d events; exported traces are truncated\n", d)
+		}
+	}
 	return 0
+}
+
+// writeTo renders into a file, or stdout for "-". A failed render or close
+// removes the file rather than leaving a truncated dump behind.
+func writeTo(dest string, stdout io.Writer, render func(io.Writer) error) error {
+	if dest == "-" {
+		return render(stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dest)
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	return nil
 }

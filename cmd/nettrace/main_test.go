@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,6 +38,49 @@ func TestRunBadFigure(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "traceable") {
 		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+// TestObsNettraceMetricsAndTrace exercises -metrics/-trace-out: the figure
+// machines attach the hub, so the dumps carry protocol packet counters and
+// trace events, and the step diagrams are unchanged by observation.
+func TestObsNettraceMetricsAndTrace(t *testing.T) {
+	var plain, plainErr strings.Builder
+	if code := run(nil, &plain, &plainErr); code != 0 {
+		t.Fatalf("exit %d: %s", code, plainErr.String())
+	}
+
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.txt")
+	tPath := filepath.Join(dir, "t.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-metrics", mPath, "-trace-out", tPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if out.String() != plain.String() {
+		t.Error("step diagrams differ when observed")
+	}
+	md, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"msglayer_packets_sent_total", "msglayer_run_rounds_total"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("metrics missing %s:\n%.1000s", want, md)
+		}
+	}
+	td, err := os.ReadFile(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(td, &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace is empty")
 	}
 }
 

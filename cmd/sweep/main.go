@@ -9,6 +9,8 @@
 //	sweep -protocol finite-cr              # any of the four protocols
 //	sweep -ackgroup 8 -ooo 0.25            # indefinite-protocol knobs
 //	sweep -csv                             # machine-readable output
+//	sweep -metrics m.txt                   # dump per-point cost metrics ("-" = stdout)
+//	sweep -trace-out t.json                # Chrome trace with one span per point
 //	sweep -cpuprofile cpu.out              # pprof CPU profile of the sweep
 //	sweep -memprofile mem.out              # pprof allocation profile at exit
 package main
@@ -23,6 +25,7 @@ import (
 
 	"msglayer/internal/analytic"
 	"msglayer/internal/cost"
+	"msglayer/internal/obs"
 	"msglayer/internal/parsweep"
 	"msglayer/internal/prof"
 	"msglayer/internal/report"
@@ -52,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	csv := fs.Bool("csv", false, "emit CSV")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+	metricsOut := fs.String("metrics", "", "dump the per-point cost metrics to a file (\"-\" = stdout)")
+	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON, one span per sweep point (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -132,6 +137,49 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 1
 	}
 
+	// The analytic grid records into a hub like the simulator sweeps do:
+	// one registry series per (protocol, packet size) and one trace span
+	// per point, consumed in input order so dumps are byte-identical at
+	// any worker count.
+	if *metricsOut != "" || *traceOut != "" {
+		hub := obs.NewHub()
+		for i, pt := range points {
+			n := sizes[i]
+			for pi, proto := range selected {
+				key := func(name string) obs.Key {
+					return obs.Key{Name: name, Node: -1, Proto: proto.String(), Event: fmt.Sprintf("n%d", n)}
+				}
+				hub.Metrics.Level(key("sweep_cost_total_instr")).Set(int64(pt.Values[2*pi]))
+				// The registry is integer-valued; overhead keeps permille.
+				hub.Metrics.Level(key("sweep_overhead_permille")).Set(int64(pt.Values[2*pi+1] * 1000))
+				hub.Trace.Record(obs.TraceEvent{
+					TS:    hub.Trace.Now() + 1,
+					Node:  -1,
+					Name:  fmt.Sprintf("sweep.%s.n%d", proto, n),
+					Proto: proto.String(),
+					Axis:  obs.AxisOther,
+					Dur:   uint64(pt.Values[2*pi]),
+					Phase: obs.PhaseComplete,
+				})
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeTo(*metricsOut, stdout, hub.Metrics.WritePrometheus); err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, stdout, hub.Trace.WriteChromeTrace); err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+		}
+		if d := hub.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(stderr, "sweep: warning: trace dropped %d events; exported traces are truncated\n", d)
+		}
+	}
+
 	title := fmt.Sprintf("Messaging cost vs packet size: %d-word message, ooo=%.2f, ack group %d",
 		*words, *ooo, *ackGroup)
 	if *csv {
@@ -140,6 +188,27 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	fmt.Fprint(stdout, report.Series(title, "n", names, points))
 	return 0
+}
+
+// writeTo renders into a file, or stdout for "-". A failed render or close
+// removes the file rather than leaving a truncated dump behind.
+func writeTo(dest string, stdout io.Writer, render func(io.Writer) error) error {
+	if dest == "-" {
+		return render(stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dest)
+		return fmt.Errorf("writing %s: %w", dest, err)
+	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -113,3 +113,45 @@ func TestProfileFlags(t *testing.T) {
 		t.Error("partial memprofile left behind")
 	}
 }
+
+// TestObsSweepMetricsAndTrace exercises -metrics/-trace-out: every
+// (protocol, packet size) point must land in the dump, byte-identically
+// across worker counts.
+func TestObsSweepMetricsAndTrace(t *testing.T) {
+	render := func(workers string) (string, string) {
+		dir := t.TempDir()
+		mPath := filepath.Join(dir, "m.txt")
+		tPath := filepath.Join(dir, "t.json")
+		var out, errOut strings.Builder
+		code := run([]string{"-sizes", "8,32", "-metrics", mPath, "-trace-out", tPath,
+			"-parallel", workers}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+		m, err := os.ReadFile(mPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(tPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(m), string(tr)
+	}
+	metrics, trace := render("1")
+	for _, want := range []string{
+		`msglayer_sweep_cost_total_instr{proto="finite (CMAM)",event="n8"}`,
+		`msglayer_sweep_cost_total_instr{proto="indefinite (CMAM)",event="n32"}`,
+		`msglayer_sweep_overhead_permille`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(trace, "sweep.finite (CMAM).n8") {
+		t.Errorf("trace missing per-point span:\n%.500s", trace)
+	}
+	if m8, t8 := render("8"); m8 != metrics || t8 != trace {
+		t.Error("dumps differ between -parallel 1 and -parallel 8")
+	}
+}

@@ -231,6 +231,12 @@ func classify(name string, sameNode bool) Category {
 	return CatWork
 }
 
+// ClassifyName attributes an event name alone, without gap context: the
+// category its name implies when the preceding event happened on the same
+// node. The timeline's per-window breakdowns use it on counter deltas,
+// where no per-message gap reconstruction is possible.
+func ClassifyName(name string) Category { return classify(name, true) }
+
 // Analyze reconstructs per-message timelines from a recorded trace. The
 // slice must be in emission order (obs.Tracer.Events returns it that way).
 func Analyze(events []obs.TraceEvent) *Analysis {

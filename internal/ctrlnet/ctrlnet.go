@@ -110,7 +110,8 @@ type Net struct {
 	cycle      uint64
 	operations uint64 // completed combine rounds
 
-	obs *obs.CtrlScope
+	obs     *obs.CtrlScope
+	onCycle func(cycle uint64)
 }
 
 // New builds a control network over the given number of nodes with the
@@ -146,6 +147,42 @@ func MustNew(nodes, fanout int) *Net {
 // SetObserver installs (or clears, with nil) an observability scope that
 // counts combines, scans, busy rejections, and hardware cycles.
 func (n *Net) SetObserver(s *obs.CtrlScope) { n.obs = s }
+
+// SetCycleListener installs (or clears, with nil) a callback fired with
+// the new cycle number after every simulated cycle the clock advances.
+// Timeline samplers hang off this hook; see internal/obs/timeline. With a
+// listener attached Tick steps the clock cycle by cycle so that linear
+// accounting (ctrlnet_cycles_total) and round completions land in exactly
+// the windows a Tick(1) loop would put them in; without one, Tick keeps
+// its O(1) batch jumps.
+func (n *Net) SetCycleListener(fn func(cycle uint64)) { n.onCycle = fn }
+
+// stepSegment advances the clock through one mutation-free stretch of
+// steps cycles. Observed runs count each hardware tick and fire the cycle
+// listener after every cycle except the last: the caller applies whatever
+// state change lands on the final cycle first, then calls noteCycle, so a
+// listener sees exactly what a cycle-by-cycle Tick loop would publish.
+func (n *Net) stepSegment(steps int) {
+	if n.onCycle == nil {
+		n.cycle += uint64(steps)
+		return
+	}
+	for i := 0; i < steps; i++ {
+		n.obs.Ticks(1)
+		n.cycle++
+		if i < steps-1 {
+			n.onCycle(n.cycle)
+		}
+	}
+}
+
+// noteCycle fires the cycle listener for the current cycle, closing out a
+// stepSegment once the cycle's state changes have been applied.
+func (n *Net) noteCycle() {
+	if n.onCycle != nil {
+		n.onCycle(n.cycle)
+	}
+}
 
 // Nodes returns the number of attached nodes.
 func (n *Net) Nodes() int { return n.nodes }
@@ -217,7 +254,9 @@ func (n *Net) Contribute(node int, op Op, value uint32) error {
 // Observable behavior is identical to ticking cycle by cycle — the round
 // completes (and the observer fires) at exactly the same cycle boundary.
 func (n *Net) Tick(cycles int) {
-	n.obs.Ticks(cycles)
+	if n.onCycle == nil {
+		n.obs.Ticks(cycles)
+	}
 	for cycles > 0 {
 		switch n.state {
 		case roundClimbing:
@@ -225,19 +264,20 @@ func (n *Net) Tick(cycles int) {
 			if steps > cycles {
 				steps = cycles
 			}
-			n.cycle += uint64(steps)
+			n.stepSegment(steps)
 			cycles -= steps
 			n.phase += steps
 			if n.phase >= n.depth {
 				n.state = roundDescending
 				n.phase = 0
 			}
+			n.noteCycle()
 		case roundDescending:
 			steps := n.depth - n.phase
 			if steps > cycles {
 				steps = cycles
 			}
-			n.cycle += uint64(steps)
+			n.stepSegment(steps)
 			cycles -= steps
 			n.phase += steps
 			if n.phase >= n.depth {
@@ -245,11 +285,13 @@ func (n *Net) Tick(cycles int) {
 				n.operations++
 				n.obs.CombineDone()
 			}
+			n.noteCycle()
 		default:
 			// Gathering or done: the tree is idle; the remaining cycles
 			// are a single clock jump. Scans time out against n.cycle
 			// (scanReadyAt), which this advances the same way.
-			n.cycle += uint64(cycles)
+			n.stepSegment(cycles)
+			n.noteCycle()
 			return
 		}
 	}

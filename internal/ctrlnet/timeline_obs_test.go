@@ -1,0 +1,88 @@
+package ctrlnet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
+)
+
+// runCtrlTimeline drives a fixed combine/scan/idle workload through a
+// control network, ticking either in batch jumps or strictly cycle by
+// cycle, and returns the rendered timeline plus the sampler.
+func runCtrlTimeline(t *testing.T, nodes, fanout, interval int, stepped bool) (string, *timeline.Sampler) {
+	t.Helper()
+	n := MustNew(nodes, fanout)
+	hub := obs.NewHub()
+	n.SetObserver(hub.CtrlScope())
+	s := timeline.New(hub.Metrics, timeline.Config{Interval: uint64(interval)})
+	n.SetCycleListener(s.Advance)
+
+	tick := func(cycles int) {
+		if stepped {
+			for i := 0; i < cycles; i++ {
+				n.Tick(1)
+			}
+		} else {
+			n.Tick(cycles)
+		}
+	}
+	consume := func() {
+		for node := 0; node < nodes; node++ {
+			if _, ok := n.Result(node); !ok {
+				t.Fatalf("node %d: result not ready", node)
+			}
+		}
+	}
+
+	// Three combine rounds separated by idle stretches, with busy
+	// rejections sprinkled in while the tree is occupied.
+	for round := 0; round < 3; round++ {
+		for node := 0; node < nodes; node++ {
+			if err := n.Contribute(node, OpSum, uint32(node+round)); err != nil {
+				t.Fatalf("contribute: %v", err)
+			}
+		}
+		tick(1)
+		_ = n.Contribute(0, OpSum, 9) // busy: round in flight
+		tick(2*n.Depth() - 1)
+		consume()
+		tick(7) // idle gap, deliberately off window alignment
+	}
+	tick(64) // long idle tail
+	s.Flush(n.Cycle())
+	var b bytes.Buffer
+	if err := timeline.WriteJSON(&b, s.Snapshot()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return b.String(), s
+}
+
+// TestCtrlTimelineBatchSteppedEquivalence checks that the O(1) batch
+// jumps in Tick publish exactly the timeline a cycle-by-cycle loop
+// would: tick accounting distributes per cycle and combine completions
+// land in the window of their completion cycle.
+func TestCtrlTimelineBatchSteppedEquivalence(t *testing.T) {
+	for _, tc := range []struct{ nodes, fanout, interval int }{
+		{16, 4, 4},
+		{16, 4, 5}, // windows straddle segment boundaries
+		{64, 2, 3},
+		{4, 4, 1},
+	} {
+		t.Run(fmt.Sprintf("n%d-f%d-i%d", tc.nodes, tc.fanout, tc.interval), func(t *testing.T) {
+			batch, batchS := runCtrlTimeline(t, tc.nodes, tc.fanout, tc.interval, false)
+			step, stepS := runCtrlTimeline(t, tc.nodes, tc.fanout, tc.interval, true)
+			if batch != step {
+				t.Errorf("timelines diverge:\n batch %d bytes\n stepped %d bytes", len(batch), len(step))
+			}
+			if err := batchS.Reconcile(); err != nil {
+				t.Errorf("batch timeline does not reconcile: %v", err)
+			}
+			if err := stepS.Reconcile(); err != nil {
+				t.Errorf("stepped timeline does not reconcile: %v", err)
+			}
+		})
+	}
+}

@@ -38,10 +38,16 @@ func (n *Net) Tick(cycles int) {
 			n.stats.Cycles += uint64(skip)
 			n.idleSkipped += uint64(skip)
 			cycles -= skip
+			if n.observing() {
+				n.noteCycle()
+			}
 			continue
 		}
 		n.tickOnce()
 		cycles--
+		if n.observing() {
+			n.noteCycle()
+		}
 	}
 }
 
@@ -60,10 +66,16 @@ func (n *Net) TickUntilQuiet(budget int) bool {
 			n.stats.Cycles += uint64(skip)
 			n.idleSkipped += uint64(skip)
 			budget -= skip
+			if n.observing() {
+				n.noteCycle()
+			}
 			continue
 		}
 		n.tickOnce()
 		budget--
+		if n.observing() {
+			n.noteCycle()
+		}
 	}
 	return n.quiet()
 }
@@ -351,7 +363,7 @@ func (n *Net) advanceLane(r, port, vc int) {
 	}
 	w := fl.worm
 	if w.state == wormKilled || w.state == wormFailed {
-		buf.pop()
+		n.popFlit(buf, vc)
 		return
 	}
 
@@ -369,7 +381,7 @@ func (n *Net) advanceLane(r, port, vc int) {
 		out = claimed
 	} else {
 		// A body flit with no claim means the worm was killed and swept.
-		buf.pop()
+		n.popFlit(buf, vc)
 		return
 	}
 	if rt.outUsed[out.port] == n.cycle {
@@ -379,9 +391,12 @@ func (n *Net) advanceLane(r, port, vc int) {
 	peer, peerPort, node := n.cfg.Topology.Neighbor(r, out.port)
 	if node != topology.Terminal {
 		// Delivery: consume the flit; the tail completes the packet.
-		buf.pop()
+		n.popFlit(buf, vc)
 		rt.outUsed[out.port] = n.cycle
 		n.stats.FlitMoves++
+		if n.linkObs != nil {
+			n.linkObs[r][out.port].Inc()
+		}
 		if fl.kind == flitTail {
 			n.finishWorm(r, out, w, node)
 		}
@@ -394,11 +409,14 @@ func (n *Net) advanceLane(r, port, vc int) {
 		}
 		return
 	}
-	buf.pop()
+	n.popFlit(buf, vc)
 	fl.arrived = n.cycle
 	n.pushFlit(peer, peerPort, out.vc, fl)
 	rt.outUsed[out.port] = n.cycle
 	n.stats.FlitMoves++
+	if n.linkObs != nil {
+		n.linkObs[r][out.port].Inc()
+	}
 	w.blocked = 0
 	if fl.kind == flitTail {
 		// The tail releases this router's claim on the output lane.
@@ -457,10 +475,13 @@ func (n *Net) routeHead(r, port, vc int, w *worm) (lane, bool) {
 			}
 			rt.owner[out.port][out.vc] = w
 			rt.route[w.id] = out
+			n.popFlit(&rt.inputs[port][vc], vc) // consume the head
 			w.pushClaim(r)
-			rt.inputs[port][vc].pop() // consume the head
 			rt.outUsed[cand] = n.cycle
 			n.stats.FlitMoves++
+			if n.linkObs != nil {
+				n.linkObs[r][cand].Inc()
+			}
 			w.blocked = 0
 			return lane{}, false // head consumed; nothing more to move
 		}
@@ -566,10 +587,18 @@ func (n *Net) kill(w *worm, reason string) {
 	// is idempotent and a miss on an empty lane is a no-op, so sweeping
 	// the superset is safe.
 	for _, id := range n.lanes.sorted {
-		n.routers[n.laneRouter[id]].inputs[n.lanePort[id]][int(id)%n.cfg.VirtualChannels].filterWorm(w)
+		vc := int(id) % n.cfg.VirtualChannels
+		if removed := n.routers[n.laneRouter[id]].inputs[n.lanePort[id]][vc].filterWorm(w); removed > 0 && n.gauges != nil {
+			n.buffered -= removed
+			n.bufferedVC[vc] -= removed
+		}
 	}
 	for _, id := range n.lanes.added {
-		n.routers[n.laneRouter[id]].inputs[n.lanePort[id]][int(id)%n.cfg.VirtualChannels].filterWorm(w)
+		vc := int(id) % n.cfg.VirtualChannels
+		if removed := n.routers[n.laneRouter[id]].inputs[n.lanePort[id]][vc].filterWorm(w); removed > 0 && n.gauges != nil {
+			n.buffered -= removed
+			n.bufferedVC[vc] -= removed
+		}
 	}
 	// Release the output lanes the worm still claims, in path order.
 	for _, cr := range w.claims[w.claimHead:] {

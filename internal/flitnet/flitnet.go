@@ -207,8 +207,9 @@ func (q *laneFIFO) pop() {
 }
 
 // filterWorm removes every flit of w from the ring, preserving the order
-// of the rest — the kill sweep.
-func (q *laneFIFO) filterWorm(w *worm) {
+// of the rest — the kill sweep. It returns how many flits it removed, so
+// the caller can keep the buffered-flit gauges exact.
+func (q *laneFIFO) filterWorm(w *worm) int {
 	kept := 0
 	for i := 0; i < q.n; i++ {
 		fl := q.buf[(q.head+i)%len(q.buf)]
@@ -218,10 +219,12 @@ func (q *laneFIFO) filterWorm(w *worm) {
 		q.buf[(q.head+kept)%len(q.buf)] = fl
 		kept++
 	}
+	removed := q.n - kept
 	for i := kept; i < q.n; i++ {
 		q.buf[(q.head+i)%len(q.buf)] = flit{}
 	}
 	q.n = kept
+	return removed
 }
 
 type router struct {
@@ -394,6 +397,22 @@ type Net struct {
 	// lives in the engine functions shared by the dense and event-driven
 	// steppers, so traces are byte-identical across both.
 	obs *obs.FlitScope
+
+	// gauges, when non-nil, receives the network's occupancy state once
+	// per advanced cycle (see noteCycle); buffered/bufferedVC maintain the
+	// input-buffer population it publishes. linkObs[r][port], when non-nil,
+	// counts flits moved across each router output link. Both attach with
+	// the observer scope; the maintenance sites are shared between the
+	// engines, so the published series are byte-identical across both.
+	gauges     *obs.FlitGauges
+	buffered   int
+	bufferedVC []int
+	linkObs    [][]*obs.Counter
+	// onCycle, when non-nil, is invoked after the mutations of every
+	// advanced cycle — once per stepped cycle, once per idle fast-forward
+	// jump (covering the frozen cycles in between). The timeline sampler
+	// hangs off it.
+	onCycle func(cycle uint64)
 }
 
 // New builds the network.
@@ -495,10 +514,26 @@ func (n *Net) laneID(r, port, vc int) int32 {
 
 // pushFlit places a flit into a lane and activates the lane in the
 // worklist. Every flit enters a buffer through here, which is what keeps
-// the active-lane set a superset of the occupied lanes at all times.
+// the active-lane set a superset of the occupied lanes at all times — and
+// the buffered-flit gauges exact.
 func (n *Net) pushFlit(r, port, vc int, fl flit) {
 	n.routers[r].inputs[port][vc].push(fl)
 	n.lanes.add(n.laneID(r, port, vc))
+	if n.gauges != nil {
+		n.buffered++
+		n.bufferedVC[vc]++
+	}
+}
+
+// popFlit removes a lane's front flit, keeping the buffered-flit gauges in
+// step. Every consuming pop goes through here; the kill sweep accounts for
+// its bulk removals separately.
+func (n *Net) popFlit(buf *laneFIFO, vc int) {
+	buf.pop()
+	if n.gauges != nil {
+		n.buffered--
+		n.bufferedVC[vc]--
+	}
 }
 
 // MustNew is New that panics on bad configuration.
@@ -592,8 +627,60 @@ func (w *worm) identity() (msg, pkt, parent uint64) {
 // SetFlitObserver attaches (or, with nil, detaches) a flit-level recording
 // scope. Attach before ticking; the emission points are shared between the
 // dense and event-driven engines, so recorded traces are byte-identical
-// across both.
-func (n *Net) SetFlitObserver(s *obs.FlitScope) { n.obs = s }
+// across both. Attaching also resolves the occupancy gauges (in-flight
+// worms, injection backlog, receive-queue depth, per-VC buffered flits)
+// published once per advanced cycle, and the per-link flit counters the
+// timeline turns into utilization series.
+func (n *Net) SetFlitObserver(s *obs.FlitScope) {
+	n.obs = s
+	if s == nil {
+		n.gauges = nil
+		n.linkObs = nil
+		return
+	}
+	vcs := n.cfg.VirtualChannels
+	n.gauges = s.Gauges(vcs)
+	if n.bufferedVC == nil {
+		n.bufferedVC = make([]int, vcs)
+	}
+	n.linkObs = make([][]*obs.Counter, len(n.routers))
+	for r := range n.routers {
+		ports := make([]*obs.Counter, len(n.routers[r].outUsed))
+		for p := range ports {
+			ports[p] = s.LinkCounter(r, p)
+		}
+		n.linkObs[r] = ports
+	}
+}
+
+// SetCycleListener installs (or clears, with nil) a callback invoked after
+// the mutations of every advanced cycle: once per stepped cycle, and once
+// per idle fast-forward jump, with the cycle the clock landed on. Skipped
+// cycles mutate nothing, so a listener sampling state on boundaries inside
+// the jump would read exactly the values it reads at the jump's end — the
+// property that makes timeline windows byte-identical across engines.
+func (n *Net) SetCycleListener(fn func(cycle uint64)) { n.onCycle = fn }
+
+// noteCycle publishes the occupancy gauges and fires the cycle listener.
+// Called (via its inlined guard in Tick/TickUntilQuiet) after every
+// stepped cycle and after every fast-forward jump.
+func (n *Net) noteCycle() {
+	if g := n.gauges; g != nil {
+		g.InflightWorms.Set(int64(n.inflight))
+		g.InjectBacklog.Set(int64(n.queuedWorms))
+		g.RecvqPackets.Set(int64(n.recvqTotal))
+		g.BufferedFlits.Set(int64(n.buffered))
+		for vc, l := range g.VCFlits {
+			l.Set(int64(n.bufferedVC[vc]))
+		}
+	}
+	if n.onCycle != nil {
+		n.onCycle(n.cycle)
+	}
+}
+
+// observing reports whether noteCycle has any work to do.
+func (n *Net) observing() bool { return n.gauges != nil || n.onCycle != nil }
 
 // wormFlits computes a worm's length: head + payload + tail, padded in CR
 // mode to the deterministic path length so the worm spans source to

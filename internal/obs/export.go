@@ -39,6 +39,12 @@ var metricHelp = map[string]string{
 	"run_stalls_total":        "observed runs that exhausted their round budget",
 	"trace_undescribed_total": "protocol events neither described nor deliberately skipped by the figure traces",
 	"flitnet_idle_skipped":    "cycles the event-driven flit engine fast-forwarded instead of stepping",
+
+	"flitnet_link_flits_total":     "flits moved across a router output link (event label = output port)",
+	"flitnet_inflight_worms":       "worms currently in the flit network",
+	"flitnet_inject_backlog_worms": "worms accepted by Inject but not yet head-injected",
+	"flitnet_recvq_packets":        "delivered packets not yet drained by TryRecv",
+	"flitnet_buffered_flits":       "flits resident in router input buffers (event label = virtual channel, when split)",
 }
 
 // MetricPrefix namespaces every exported series.

@@ -32,6 +32,7 @@ type Hub struct {
 
 	enabled atomic.Bool
 	round   uint64
+	onTick  func(round uint64)
 	nodes   map[int]*NodeScope
 
 	// Causal-identity allocators for per-message span tracing: message,
@@ -60,8 +61,19 @@ func (h *Hub) SetEnabled(on bool) { h.enabled.Store(on) }
 func (h *Hub) Enabled() bool { return h.enabled.Load() }
 
 // Tick advances simulated time by one scheduler round. The observed
-// machine run loop calls it once per round.
-func (h *Hub) Tick() { h.round++ }
+// machine run loop calls it once per round, at the end of the round, so
+// the listener (if any) observes every mutation the round made.
+func (h *Hub) Tick() {
+	h.round++
+	if h.onTick != nil {
+		h.onTick(h.round)
+	}
+}
+
+// SetTickListener installs (or clears, with nil) a callback invoked after
+// every Tick with the new round number. The timeline sampler hangs off it
+// to close metric windows on round boundaries.
+func (h *Hub) SetTickListener(fn func(round uint64)) { h.onTick = fn }
 
 // Round returns the current scheduler round.
 func (h *Hub) Round() uint64 { return h.round }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -344,7 +345,8 @@ func TestObsChromeTraceValid(t *testing.T) {
 
 func TestObsHistogramQuantile(t *testing.T) {
 	// Uniform 1..100 over the default bounds: rank 50 lands in the <=64
-	// bucket, ranks 90 and 99 in the <=128 bucket.
+	// bucket; ranks 90 and 99 land in the <=128 bucket, whose bound
+	// over-reports, so they cap at the exact max (100).
 	h := NewHistogram(nil)
 	for v := uint64(1); v <= 100; v++ {
 		h.Observe(v)
@@ -352,20 +354,21 @@ func TestObsHistogramQuantile(t *testing.T) {
 	for _, tc := range []struct {
 		q    float64
 		want uint64
-	}{{0, 1}, {0.5, 64}, {0.9, 128}, {0.99, 128}, {1, 128}} {
+	}{{0, 1}, {0.5, 64}, {0.9, 100}, {0.99, 100}, {1, 100}} {
 		if got := h.Quantile(tc.q); got != tc.want {
 			t.Errorf("uniform Quantile(%v) = %d, want %d", tc.q, got, tc.want)
 		}
 	}
 
-	// Point mass: every quantile reports the bucket holding the mass.
+	// Point mass: the bucket bound (4) exceeds the max, so every quantile
+	// reports the exact maximum instead.
 	pm := NewHistogram([]uint64{1, 4, 16})
 	for i := 0; i < 10; i++ {
 		pm.Observe(3)
 	}
 	for _, q := range []float64{0.01, 0.5, 0.99} {
-		if got := pm.Quantile(q); got != 4 {
-			t.Errorf("point-mass Quantile(%v) = %d, want 4", q, got)
+		if got := pm.Quantile(q); got != 3 {
+			t.Errorf("point-mass Quantile(%v) = %d, want 3", q, got)
 		}
 	}
 
@@ -386,6 +389,40 @@ func TestObsHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestObsHistogramQuantileEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		bounds  []uint64
+		observe []uint64
+		q       float64
+		want    uint64
+	}{
+		{"empty-q0", nil, nil, 0, 0},
+		{"empty-q1", nil, nil, 1, 0},
+		{"empty-nan", nil, nil, math.NaN(), 0},
+		{"single-bucket-q0", []uint64{8}, []uint64{5}, 0, 5},
+		{"single-bucket-q1", []uint64{8}, []uint64{5}, 1, 5},
+		{"single-bucket-overflow", []uint64{8}, []uint64{3, 20}, 1, 20},
+		{"q0-is-rank-one", []uint64{1, 2, 4}, []uint64{1, 2, 2, 4}, 0, 1},
+		{"q1-is-max", []uint64{1, 2, 4}, []uint64{1, 2, 3}, 1, 3},
+		{"nan-clamps-to-zero", []uint64{1, 2, 4}, []uint64{1, 4}, math.NaN(), 1},
+		{"negative-clamps-to-zero", []uint64{1, 2, 4}, []uint64{1, 4}, -0.5, 1},
+		{"above-one-clamps-to-one", []uint64{1, 2, 4}, []uint64{1, 4}, 3.5, 4},
+		{"bound-capped-at-max", []uint64{10, 100}, []uint64{4}, 0.5, 4},
+		{"overflow-reports-max", []uint64{1, 2}, []uint64{1, 500}, 0.99, 500},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestObsExportersIncludeQuantiles(t *testing.T) {
 	h := NewHub()
 	hist := h.Metrics.Histogram(Key{Name: "transfer_latency_rounds", Node: 0, Proto: "finite"}, nil)
@@ -401,8 +438,8 @@ func TestObsExportersIncludeQuantiles(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE msglayer_transfer_latency_rounds_p50 gauge",
 		`msglayer_transfer_latency_rounds_p50{node="0",proto="finite"} 64`,
-		`msglayer_transfer_latency_rounds_p90{node="0",proto="finite"} 128`,
-		`msglayer_transfer_latency_rounds_p99{node="0",proto="finite"} 128`,
+		`msglayer_transfer_latency_rounds_p90{node="0",proto="finite"} 100`,
+		`msglayer_transfer_latency_rounds_p99{node="0",proto="finite"} 100`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q\n%s", want, out)
@@ -423,8 +460,8 @@ func TestObsExportersIncludeQuantiles(t *testing.T) {
 	for _, m := range doc.Metrics {
 		if m.Kind == "histogram" && m.Name == "transfer_latency_rounds" {
 			found = true
-			if m.Quantiles["p50"] != 64 || m.Quantiles["p90"] != 128 || m.Quantiles["p99"] != 128 {
-				t.Errorf("JSON quantiles = %v, want p50=64 p90=128 p99=128", m.Quantiles)
+			if m.Quantiles["p50"] != 64 || m.Quantiles["p90"] != 100 || m.Quantiles["p99"] != 100 {
+				t.Errorf("JSON quantiles = %v, want p50=64 p90=100 p99=100", m.Quantiles)
 			}
 		}
 	}

@@ -123,14 +123,16 @@ func (h *Histogram) Max() uint64 { return h.max }
 
 // Quantile returns an upper estimate of the q-quantile (0 <= q <= 1) from
 // the fixed buckets: the smallest bucket upper bound whose cumulative count
-// covers rank ceil(q*n). Ranks falling into the +Inf overflow bucket report
-// the exact maximum observed, since the buckets cannot resolve beyond their
-// last bound. An empty histogram reports 0.
+// covers rank ceil(q*n), never exceeding the exact maximum observed (a
+// bucket bound above the max would over-report; the max is known exactly).
+// Ranks falling into the +Inf overflow bucket report the maximum for the
+// same reason. An empty histogram reports 0 for every q; out-of-range and
+// NaN q clamp to the nearest valid quantile (NaN to 0).
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.n == 0 {
 		return 0
 	}
-	if q < 0 {
+	if !(q >= 0) { // also catches NaN, which fails every comparison
 		q = 0
 	}
 	if q > 1 {
@@ -144,10 +146,10 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	for i, c := range h.counts {
 		acc += c
 		if acc >= rank {
-			if i < len(h.bounds) {
+			if i < len(h.bounds) && h.bounds[i] < h.max {
 				return h.bounds[i]
 			}
-			return h.max // overflow bucket
+			return h.max // overflow bucket, or a bound past the true max
 		}
 	}
 	return h.max
@@ -161,6 +163,12 @@ func (h *Histogram) Sum() uint64 { return h.sum }
 
 // Bounds returns the bucket upper bounds (excluding +Inf).
 func (h *Histogram) Bounds() []uint64 { return h.bounds }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, one per
+// bound plus the final +Inf bucket. The slice is the histogram's own
+// storage; callers must not mutate it. The timeline sampler diffs it
+// window over window without allocating.
+func (h *Histogram) BucketCounts() []uint64 { return h.counts }
 
 // Cumulative returns the cumulative bucket counts, one per bound plus the
 // final +Inf bucket — the Prometheus exposition layout.
@@ -231,6 +239,19 @@ func (r *Registry) Histogram(k Key, bounds []uint64) *Histogram {
 // export order, for consumers that audit the full counter set (the
 // critical-path reconciler cross-checks each against the trace).
 func (r *Registry) CounterKeys() []Key { return sortedKeys(r.counters) }
+
+// LevelKeys returns every level key in deterministic export order.
+func (r *Registry) LevelKeys() []Key { return sortedKeys(r.levels) }
+
+// HistogramKeys returns every histogram key in deterministic export order.
+func (r *Registry) HistogramKeys() []Key { return sortedKeys(r.hists) }
+
+// SeriesCounts returns the number of counter, level, and histogram series.
+// It is a cheap change signature: the timeline sampler compares it at each
+// window boundary and rescans (cold path) only when a new series appeared.
+func (r *Registry) SeriesCounts() (counters, levels, hists int) {
+	return len(r.counters), len(r.levels), len(r.hists)
+}
 
 // CounterValue returns the value of a counter, zero if it was never
 // created. Convenient for tests and reports.

@@ -8,6 +8,7 @@
 //	/snapshot       JSON document: clock, trace stats, and the full registry
 //	/trace          Chrome trace-event JSON of everything recorded so far
 //	/critpath       per-message critical-path latency attribution (text)
+//	/timeline       windowed metrics timeline JSON (when a sampler is attached)
 //	/debug/pprof/   the standard net/http/pprof handlers (host-side profiles)
 //
 // The simulator is single-threaded by design, so the server serializes all
@@ -31,11 +32,13 @@ import (
 
 	"msglayer/internal/critpath"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
 )
 
 // Server serves one hub's live observability view.
 type Server struct {
 	hub *obs.Hub
+	tl  *timeline.Sampler
 
 	mu   sync.Mutex // serializes hub access between the sim thread and handlers
 	http *http.Server
@@ -50,6 +53,12 @@ func New(hub *obs.Hub) *Server {
 	}
 	return &Server{hub: hub, done: make(chan struct{})}
 }
+
+// SetTimeline attaches (or detaches, with nil) the timeline sampler the
+// /timeline endpoint renders. The sampler must watch the same hub and be
+// advanced under Sync, like every other hub mutation; /timeline answers
+// 404 while no sampler is attached. Call before Start.
+func (s *Server) SetTimeline(tl *timeline.Sampler) { s.tl = tl }
 
 // Sync runs fn while holding the server's hub lock. The tool that owns the
 // hub must route every hub mutation through Sync once the server is started,
@@ -68,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/critpath", s.handleCritpath)
+	mux.HandleFunc("/timeline", s.handleTimeline)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -150,6 +160,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /snapshot       JSON snapshot (clock, trace stats, registry)")
 	fmt.Fprintln(w, "  /trace          Chrome trace-event JSON (perfetto-loadable)")
 	fmt.Fprintln(w, "  /critpath       per-message critical-path latency attribution (text)")
+	fmt.Fprintln(w, "  /timeline       windowed metrics timeline JSON")
 	fmt.Fprintln(w, "  /debug/pprof/   host-side Go profiles")
 }
 
@@ -194,6 +205,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	s.render(w, "application/json", func(b *bytes.Buffer) error {
 		return s.hub.Trace.WriteChromeTrace(b)
+	})
+}
+
+// handleTimeline renders the attached timeline sampler's windows so far:
+// the live view of the same document -timeline-out writes at exit.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	if s.tl == nil {
+		http.Error(w, "no timeline sampler attached", http.StatusNotFound)
+		return
+	}
+	s.render(w, "application/json", func(b *bytes.Buffer) error {
+		return timeline.WriteJSON(b, s.tl.Snapshot())
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -104,6 +105,82 @@ func TestObsServeTraceAndIndex(t *testing.T) {
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("GET /nope = %d, want 404", rec.Code)
+	}
+}
+
+// fixedTimelineHub runs the fixed scenario with a timeline sampler on the
+// hub's round clock, flushed at the final round.
+func fixedTimelineHub(t *testing.T) (*obs.Hub, *timeline.Sampler) {
+	t.Helper()
+	h := obs.NewHub()
+	s := timeline.New(h.Metrics, timeline.Config{Interval: 8})
+	h.SetTickListener(s.Advance)
+	experiments.SetObserver(h)
+	defer experiments.SetObserver(nil)
+	if _, err := experiments.RunCanonical("cm5-finite", 32); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(h.Round())
+	return h, s
+}
+
+func TestObsServeTimelineGolden(t *testing.T) {
+	h, s := fixedTimelineHub(t)
+	if err := s.Reconcile(); err != nil {
+		t.Fatalf("timeline does not reconcile: %v", err)
+	}
+	srv := New(h)
+	srv.SetTimeline(s)
+	body := get(t, srv, "/timeline")
+	var doc timeline.Timeline
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/timeline does not parse: %v", err)
+	}
+	if doc.Schema != timeline.SchemaVersion || len(doc.Windows) == 0 || doc.Digest == "" {
+		t.Fatalf("/timeline missing fields: schema=%d windows=%d digest=%q", doc.Schema, len(doc.Windows), doc.Digest)
+	}
+	checkGolden(t, "timeline.golden", body)
+}
+
+func TestObsServeTimelineAbsent(t *testing.T) {
+	srv := New(fixedHub(t))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/timeline", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /timeline without sampler = %d, want 404", rec.Code)
+	}
+}
+
+func TestObsServeTimelineNoGoroutineLeak(t *testing.T) {
+	h, s := fixedTimelineHub(t)
+	before := runtime.NumGoroutine()
+
+	srv := New(h)
+	srv.SetTimeline(s)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /timeline = %d: %.200s", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before Start, %d after Shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

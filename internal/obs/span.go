@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Causal per-message span tracing.
 //
 // Every traced event can carry a message identity (MsgID), a packet
@@ -260,6 +262,71 @@ func (s *FlitScope) Event(name string, cycle, msg, pkt, parent uint64) {
 	s.hub.Trace.Record(TraceEvent{
 		Round: cycle, Node: -1, Name: name, Proto: flitProto, Axis: e.axis,
 		MsgID: msg, PktID: pkt, Parent: parent,
+	})
+}
+
+// FlitGauges is the set of occupancy gauges the flit simulator publishes
+// once per advanced cycle: the state the timeline sampler turns into
+// utilization series. All values are absolute occupancies (not deltas), so
+// publishing them after an idle fast-forward jump yields the same series
+// as publishing them every cycle — the state did not change in between.
+// A nil FlitGauges is the disabled state.
+type FlitGauges struct {
+	// InflightWorms is the number of worms currently in the network.
+	InflightWorms *Level
+	// InjectBacklog is the number of worms queued behind injection
+	// backpressure (accepted by Inject, not yet head-injected).
+	InjectBacklog *Level
+	// RecvqPackets is the number of delivered packets not yet drained by
+	// TryRecv.
+	RecvqPackets *Level
+	// BufferedFlits is the total number of flits resident in router input
+	// buffers across all lanes.
+	BufferedFlits *Level
+	// VCFlits holds per-virtual-channel buffered-flit gauges (VC queue
+	// depth); nil when the network runs a single channel.
+	VCFlits []*Level
+}
+
+// Gauges resolves the flit-network occupancy gauges, labeled like the
+// scope's events (Node: -1, Proto: "flitnet"; per-VC series carry the
+// channel as the event label). vcs is the configured virtual-channel
+// count; per-VC gauges are only created when vcs > 1.
+func (s *FlitScope) Gauges(vcs int) *FlitGauges {
+	if s == nil {
+		return nil
+	}
+	k := func(metric, event string) Key {
+		return Key{Name: metric, Node: -1, Proto: flitProto, Event: event}
+	}
+	g := &FlitGauges{
+		InflightWorms: s.hub.Metrics.Level(k("flitnet_inflight_worms", "")),
+		InjectBacklog: s.hub.Metrics.Level(k("flitnet_inject_backlog_worms", "")),
+		RecvqPackets:  s.hub.Metrics.Level(k("flitnet_recvq_packets", "")),
+		BufferedFlits: s.hub.Metrics.Level(k("flitnet_buffered_flits", "")),
+	}
+	if vcs > 1 {
+		g.VCFlits = make([]*Level, vcs)
+		for vc := 0; vc < vcs; vc++ {
+			g.VCFlits[vc] = s.hub.Metrics.Level(k("flitnet_buffered_flits", fmt.Sprintf("vc%d", vc)))
+		}
+	}
+	return g
+}
+
+// LinkCounter resolves the per-link utilization counter for one router
+// output port: flits moved across that link, labeled with the router id
+// and the port as the event label. The flit engine bumps it at every flit
+// move; the timeline sampler's per-window deltas over it are the link's
+// utilization series (flits per window / window width = busy fraction,
+// since a link moves at most one flit per cycle).
+func (s *FlitScope) LinkCounter(router, port int) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.hub.Metrics.Counter(Key{
+		Name: "flitnet_link_flits_total", Node: router, Proto: flitProto,
+		Event: fmt.Sprintf("p%d", port),
 	})
 }
 

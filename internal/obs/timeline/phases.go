@@ -1,0 +1,234 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PhaseKind classifies a segment of a run by its event-rate regime.
+type PhaseKind uint8
+
+// Phase kinds, in run order: a leading low-rate ramp, the medium-rate
+// norm, high-rate excursions, and the trailing low-rate tail.
+const (
+	// PhaseWarmup is the leading low-activity run of windows (pipelines
+	// filling, credit handshakes, allocation round trips).
+	PhaseWarmup PhaseKind = iota
+	// PhaseSteady is the run's normal operating regime.
+	PhaseSteady
+	// PhaseBurst is a high-activity excursion above the steady rate.
+	PhaseBurst
+	// PhaseDrain is the trailing low-activity run (injection stopped,
+	// in-flight traffic completing).
+	PhaseDrain
+)
+
+// String names the kind.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseSteady:
+		return "steady"
+	case PhaseBurst:
+		return "burst"
+	case PhaseDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one segment of consecutive windows in the same rate regime,
+// with its overhead breakdown aggregated over the member windows.
+type Phase struct {
+	Kind PhaseKind `json:"kind"`
+	// FirstWindow and LastWindow are inclusive window indices.
+	FirstWindow int `json:"first_window"`
+	LastWindow  int `json:"last_window"`
+	// Start and End are the covered cycle range.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Events is the total protocol-event activity in the phase.
+	Events uint64 `json:"events"`
+	// Breakdown aggregates the member windows' Role×Feature×Category
+	// cells, in the same deterministic order.
+	Breakdown []BreakdownCell `json:"breakdown,omitempty"`
+}
+
+// Phases segments the timeline into warmup/steady/burst/drain from
+// rate change-points. The detector is deliberately integer-only and
+// threshold-based so it is deterministic: with med the median nonzero
+// per-window activity, a window is low when its activity is under half the
+// median and bursting when over twice it. The leading low run is warmup,
+// the trailing low run is drain, interior low windows fold into steady
+// (lulls between bursts are part of the regime that surrounds them). A
+// timeline with no activity at all is a single steady phase.
+func (tl *Timeline) Phases() []Phase {
+	n := len(tl.Windows)
+	if n == 0 {
+		return nil
+	}
+	acts := make([]uint64, n)
+	nonzero := make([]uint64, 0, n)
+	for i, w := range tl.Windows {
+		acts[i] = w.Events
+		if w.Events > 0 {
+			nonzero = append(nonzero, w.Events)
+		}
+	}
+	const (
+		low = iota
+		mid
+		high
+	)
+	class := make([]int, n)
+	if len(nonzero) > 0 {
+		sort.Slice(nonzero, func(i, j int) bool { return nonzero[i] < nonzero[j] })
+		med := nonzero[len(nonzero)/2]
+		for i, a := range acts {
+			switch {
+			case a*2 < med:
+				class[i] = low
+			case a > 2*med:
+				class[i] = high
+			default:
+				class[i] = mid
+			}
+		}
+	}
+	// Map window classes to kinds: leading low = warmup, trailing low =
+	// drain, interior high = burst, everything else steady.
+	lead := 0
+	for lead < n && class[lead] == low {
+		lead++
+	}
+	if lead == n {
+		// No window ever left the low regime: one steady phase.
+		return []Phase{tl.phaseOver(PhaseSteady, 0, n-1)}
+	}
+	tail := n
+	for tail > lead && class[tail-1] == low {
+		tail--
+	}
+	kinds := make([]PhaseKind, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i < lead:
+			kinds[i] = PhaseWarmup
+		case i >= tail:
+			kinds[i] = PhaseDrain
+		case class[i] == high:
+			kinds[i] = PhaseBurst
+		default:
+			kinds[i] = PhaseSteady
+		}
+	}
+	var phases []Phase
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || kinds[i] != kinds[start] {
+			phases = append(phases, tl.phaseOver(kinds[start], start, i-1))
+			start = i
+		}
+	}
+	return phases
+}
+
+// phaseOver aggregates windows [first, last] into one phase.
+func (tl *Timeline) phaseOver(kind PhaseKind, first, last int) Phase {
+	p := Phase{
+		Kind:        kind,
+		FirstWindow: first,
+		LastWindow:  last,
+		Start:       tl.Windows[first].Start,
+		End:         tl.Windows[last].End,
+	}
+	cells := make(map[BreakdownCell]uint64)
+	for i := first; i <= last; i++ {
+		w := &tl.Windows[i]
+		p.Events += w.Events
+		for _, c := range w.Breakdown {
+			cells[BreakdownCell{Role: c.Role, Axis: c.Axis, Category: c.Category}] += c.Events
+		}
+	}
+	if len(cells) > 0 {
+		keys := make([]BreakdownCell, 0, len(cells))
+		for k := range cells {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Role != b.Role {
+				return a.Role < b.Role
+			}
+			if a.Axis != b.Axis {
+				return a.Axis < b.Axis
+			}
+			return a.Category < b.Category
+		})
+		for _, k := range keys {
+			k.Events = cells[k]
+			p.Breakdown = append(p.Breakdown, k)
+		}
+	}
+	return p
+}
+
+// WritePhaseReport renders the phase segmentation as an indented text
+// block for run reports: one line per phase with its cycle range, event
+// total and share, then the phase's top overhead cells by axis and
+// category in permille of the phase's events.
+func WritePhaseReport(b *strings.Builder, indent string, tl *Timeline) {
+	phases := tl.Phases()
+	var total uint64
+	for _, p := range phases {
+		total += p.Events
+	}
+	for _, p := range phases {
+		share := uint64(0)
+		if total > 0 {
+			share = p.Events * 1000 / total
+		}
+		fmt.Fprintf(b, "%s%-7s cycles %d-%d (w%d-w%d)  events %d (%d‰ of run)\n",
+			indent, p.Kind, p.Start, p.End, p.FirstWindow, p.LastWindow, p.Events, share)
+		if p.Events == 0 {
+			continue
+		}
+		// Aggregate the phase's cells by axis and by category: the two
+		// one-dimensional views the paper's tables use.
+		axes := make(map[string]uint64)
+		cats := make(map[string]uint64)
+		for _, c := range p.Breakdown {
+			axes[c.Axis] += c.Events
+			cats[c.Category] += c.Events
+		}
+		fmt.Fprintf(b, "%s        by axis:     %s\n", indent, permilleLine(axes, p.Events))
+		fmt.Fprintf(b, "%s        by category: %s\n", indent, permilleLine(cats, p.Events))
+	}
+}
+
+// permilleLine renders "name 123‰" terms in descending share, name order
+// breaking ties.
+func permilleLine(m map[string]uint64, total uint64) string {
+	type term struct {
+		name string
+		v    uint64
+	}
+	terms := make([]term, 0, len(m))
+	for k, v := range m {
+		terms = append(terms, term{k, v})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].v != terms[j].v {
+			return terms[i].v > terms[j].v
+		}
+		return terms[i].name < terms[j].name
+	})
+	parts := make([]string, 0, len(terms))
+	for _, t := range terms {
+		parts = append(parts, fmt.Sprintf("%s %d‰", t.name, t.v*1000/total))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,335 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msglayer/internal/obs"
+)
+
+func k(name, proto, event string, node int) obs.Key {
+	return obs.Key{Name: name, Node: node, Proto: proto, Event: event}
+}
+
+// TestSamplerWindowsAndReconcile drives a synthetic registry through a few
+// windows and checks the delta encoding and the reconciliation audit.
+func TestSamplerWindowsAndReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter(k("protocol_events_total", "finite", "finite.start", 0))
+	l := reg.Level(k("depth", "net", "", -1))
+	h := reg.Histogram(k("lat", "finite", "", 0), nil)
+
+	s := New(reg, Config{Interval: 10})
+	for cycle := uint64(1); cycle <= 35; cycle++ {
+		if cycle%2 == 0 {
+			c.Inc()
+		}
+		if cycle == 7 {
+			l.Set(3)
+		}
+		if cycle == 25 {
+			h.Observe(5)
+			h.Observe(100)
+		}
+		s.Advance(cycle)
+	}
+	s.Flush(35)
+
+	if got := s.Windows(); got != 4 {
+		t.Fatalf("windows = %d, want 4 (three full + one partial)", got)
+	}
+	if err := s.Reconcile(); err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	tl := s.Snapshot()
+	if tl.Windows[3].Start != 30 || tl.Windows[3].End != 35 {
+		t.Fatalf("partial window covers (%d, %d], want (30, 35]", tl.Windows[3].Start, tl.Windows[3].End)
+	}
+	// Window 0 covers cycles 1..10: five even cycles.
+	w0 := tl.Windows[0]
+	if len(w0.Counters) != 1 || w0.Counters[0].Delta != 5 {
+		t.Fatalf("window 0 counters = %+v, want one delta of 5", w0.Counters)
+	}
+	if w0.Counters[0].RatePerKCycle != 500 {
+		t.Fatalf("window 0 rate = %d per kcycle, want 500", w0.Counters[0].RatePerKCycle)
+	}
+	if len(w0.Levels) != 1 || w0.Levels[0].Value != 3 {
+		t.Fatalf("window 0 levels = %+v, want the depth sample 3", w0.Levels)
+	}
+	// The level did not change afterwards: no further samples stored.
+	for _, w := range tl.Windows[1:] {
+		if len(w.Levels) != 0 {
+			t.Fatalf("window %d re-stored an unchanged level: %+v", w.Index, w.Levels)
+		}
+	}
+	// Window 2 covers cycles 21..30 and holds the histogram activity.
+	w2 := tl.Windows[2]
+	if len(w2.Hists) != 1 || w2.Hists[0].Count != 2 || w2.Hists[0].Sum != 105 {
+		t.Fatalf("window 2 hists = %+v, want count 2 sum 105", w2.Hists)
+	}
+	if w2.Hists[0].P50 != 8 || w2.Hists[0].P99 != 128 {
+		t.Fatalf("window 2 quantiles p50=%d p99=%d, want 8 and 128", w2.Hists[0].P50, w2.Hists[0].P99)
+	}
+	// Breakdown: one source/base-ish cell for the finite.start deltas.
+	if len(w0.Breakdown) != 1 || w0.Breakdown[0].Role != "source" || w0.Breakdown[0].Events != 5 {
+		t.Fatalf("window 0 breakdown = %+v", w0.Breakdown)
+	}
+}
+
+// TestSamplerJumpBackfill checks the idle fast-forward contract: advancing
+// in one jump over quiet cycles yields byte-identical output to advancing
+// cycle by cycle.
+func TestSamplerJumpBackfill(t *testing.T) {
+	run := func(jump bool) string {
+		reg := obs.NewRegistry()
+		c := reg.Counter(k("protocol_events_total", "finite", "finite.start", 0))
+		s := New(reg, Config{Interval: 4})
+		c.Add(3)
+		s.Advance(5)
+		// Cycles 6..97 are idle.
+		if jump {
+			s.Advance(97)
+		} else {
+			for cy := uint64(6); cy <= 97; cy++ {
+				s.Advance(cy)
+			}
+		}
+		c.Add(2)
+		s.Flush(99)
+		var b bytes.Buffer
+		if err := WriteJSON(&b, s.Snapshot()); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.String()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("jump-advanced timeline differs from cycle-stepped:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSamplerRescanMidRun checks that series created mid-run enter the
+// timeline with their full history and still reconcile.
+func TestSamplerRescanMidRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter(k("protocol_events_total", "finite", "finite.start", 0))
+	s := New(reg, Config{Interval: 10})
+	a.Add(4)
+	s.Advance(10)
+	// A new series appears between boundaries with history already in it.
+	b := reg.Counter(k("protocol_events_total", "stream", "stream.packet.sent", 1))
+	b.Add(7)
+	s.Advance(20)
+	s.Flush(25)
+	if err := s.Reconcile(); err != nil {
+		t.Fatalf("Reconcile after mid-run series creation: %v", err)
+	}
+	tl := s.Snapshot()
+	w1 := tl.Windows[1]
+	found := false
+	for _, cd := range w1.Counters {
+		if strings.Contains(cd.Key, "stream.packet.sent") && cd.Delta == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("window 1 should carry the new series' full history, got %+v", w1.Counters)
+	}
+}
+
+// TestSamplerDropCap checks the window cap: overflow is counted, and the
+// reconciler refuses the knowingly partial stream.
+func TestSamplerDropCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(k("x_total", "", "", -1))
+	s := New(reg, Config{Interval: 1, MaxWindows: 3})
+	s.Advance(10)
+	s.Flush(10)
+	if s.Windows() != 3 || s.Dropped() != 7 {
+		t.Fatalf("windows=%d dropped=%d, want 3 and 7", s.Windows(), s.Dropped())
+	}
+	if err := s.Reconcile(); err == nil {
+		t.Fatal("Reconcile accepted a window-dropping sampler")
+	}
+}
+
+// TestSamplerUnflushedReconcile checks that an unflushed sampler refuses
+// to reconcile: the open window's deltas are unaccounted.
+func TestSamplerUnflushedReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter(k("x_total", "", "", -1))
+	s := New(reg, Config{Interval: 10})
+	c.Inc()
+	s.Advance(15)
+	if err := s.Reconcile(); err == nil {
+		t.Fatal("Reconcile accepted an unflushed sampler")
+	}
+	s.Flush(15)
+	if err := s.Reconcile(); err != nil {
+		t.Fatalf("Reconcile after flush: %v", err)
+	}
+}
+
+// TestSnapshotDeterminism checks that identical mutation schedules produce
+// identical digests, and differing ones differ.
+func TestSnapshotDeterminism(t *testing.T) {
+	run := func(extra bool) *Timeline {
+		reg := obs.NewRegistry()
+		c := reg.Counter(k("protocol_events_total", "finite", "finite.start", 0))
+		s := New(reg, Config{Interval: 5})
+		for cy := uint64(1); cy <= 20; cy++ {
+			c.Inc()
+			if extra && cy == 13 {
+				c.Inc()
+			}
+			s.Advance(cy)
+		}
+		s.Flush(20)
+		return s.Snapshot()
+	}
+	a, b, c := run(false), run(false), run(true)
+	if a.Digest != b.Digest {
+		t.Fatalf("identical runs digest %s vs %s", a.Digest, b.Digest)
+	}
+	if a.Digest == c.Digest {
+		t.Fatal("differing runs share a digest")
+	}
+}
+
+// TestPhases checks the warmup/steady/burst/drain segmentation on a
+// synthetic bursty run.
+func TestPhases(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter(k("protocol_events_total", "finite", "finite.packet.sent", 0))
+	s := New(reg, Config{Interval: 10})
+	// Per-window activity: 0 0 10 10 50 10 10 0 0
+	adds := []uint64{0, 0, 10, 10, 50, 10, 10, 0, 0}
+	cycle := uint64(0)
+	for _, n := range adds {
+		c.Add(n)
+		cycle += 10
+		s.Advance(cycle)
+	}
+	s.Flush(cycle)
+	phases := s.Snapshot().Phases()
+	var kinds []string
+	for _, p := range phases {
+		kinds = append(kinds, p.Kind.String())
+	}
+	got := strings.Join(kinds, ",")
+	if got != "warmup,steady,burst,steady,drain" {
+		t.Fatalf("phases = %s, want warmup,steady,burst,steady,drain", got)
+	}
+	if phases[2].Events != 50 {
+		t.Fatalf("burst events = %d, want 50", phases[2].Events)
+	}
+	var b strings.Builder
+	WritePhaseReport(&b, "# ", s.Snapshot())
+	if !strings.Contains(b.String(), "burst") || !strings.Contains(b.String(), "by axis") {
+		t.Fatalf("phase report missing expected lines:\n%s", b.String())
+	}
+}
+
+// TestPhasesAllQuiet checks the degenerate single-phase cases.
+func TestPhasesAllQuiet(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(k("x_total", "", "", -1))
+	s := New(reg, Config{Interval: 10})
+	s.Advance(40)
+	s.Flush(40)
+	phases := s.Snapshot().Phases()
+	if len(phases) != 1 || phases[0].Kind != PhaseSteady {
+		t.Fatalf("all-quiet run should be one steady phase, got %+v", phases)
+	}
+	empty := (&Timeline{}).Phases()
+	if empty != nil {
+		t.Fatalf("empty timeline should have no phases, got %+v", empty)
+	}
+}
+
+// TestWriteCSV smoke-checks the flat CSV form.
+func TestWriteCSV(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter(k("protocol_events_total", "finite", "finite.start", 0))
+	s := New(reg, Config{Interval: 10})
+	c.Add(2)
+	s.Flush(10)
+	var b bytes.Buffer
+	if err := WriteCSV(&b, s.Snapshot()); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"window,start,end,kind,key,value,extra", "counter", "breakdown", "source/"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQuantileFromDeltas covers the windowed-quantile edge cases directly.
+func TestQuantileFromDeltas(t *testing.T) {
+	bounds := []uint64{1, 2, 4, 8}
+	cases := []struct {
+		name    string
+		buckets []uint64
+		n       uint64
+		q       float64
+		want    uint64
+	}{
+		{"empty", []uint64{0, 0, 0, 0, 0}, 0, 0.5, 0},
+		{"q0-first-bucket", []uint64{2, 1, 0, 0, 0}, 3, 0, 1},
+		{"q1-last-used", []uint64{2, 1, 0, 0, 0}, 3, 1, 2},
+		{"overflow-reports-last-bound", []uint64{0, 0, 0, 0, 4}, 4, 0.5, 8},
+		{"nan-clamps-low", []uint64{2, 1, 0, 0, 0}, 3, nan(), 1},
+		{"above-one-clamps", []uint64{1, 0, 0, 1, 0}, 2, 3.5, 8},
+	}
+	for _, c := range cases {
+		if got := quantileFromDeltas(bounds, c.buckets, c.n, c.q); got != c.want {
+			t.Errorf("%s: quantileFromDeltas(q=%v) = %d, want %d", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// BenchmarkSamplerAdvance measures the steady-state sampling path: one
+// window close per op over a populated registry. It must report zero
+// allocations — the warm-up pass grows every arena to its working size,
+// Reset keeps the capacity, and the measured pass stays within it.
+func BenchmarkSamplerAdvance(b *testing.B) {
+	reg := obs.NewRegistry()
+	counters := make([]*obs.Counter, 8)
+	for i := range counters {
+		counters[i] = reg.Counter(k("protocol_events_total", "finite", "finite.start", i))
+	}
+	lvl := reg.Level(k("flitnet_inflight_worms", "flitnet", "", -1))
+	h := reg.Histogram(k("lat", "finite", "", 0), nil)
+	s := New(reg, Config{Interval: 1})
+
+	// Bound the retained window count: a long measured pass rotates the
+	// timeline once the arenas reach their working size, the way a
+	// long-lived server would. Reset keeps capacity, so the rotation
+	// itself is also allocation-free.
+	const rotateAt = 1 << 15
+	cycle := uint64(0)
+	loop := func(n int) {
+		for i := 0; i < n; i++ {
+			cycle++
+			counters[i%len(counters)].Inc()
+			lvl.Set(int64(i & 7))
+			h.Observe(uint64(i % 300))
+			s.Advance(cycle)
+			if s.Windows() >= rotateAt {
+				s.Reset(cycle)
+			}
+		}
+	}
+	loop(rotateAt) // grow every arena to its steady working size
+	s.Reset(cycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	loop(b.N)
+}

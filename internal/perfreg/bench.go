@@ -5,6 +5,8 @@ import (
 
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
+	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
 	"msglayer/internal/sim"
 	"msglayer/internal/topology"
 )
@@ -44,6 +46,7 @@ func recordBenches() []BenchResult {
 		benchResult(BenchTickIdle, func(b *testing.B) { benchFlitnetIdle(b, false) }),
 		benchResult(BenchTickIdleDense, func(b *testing.B) { benchFlitnetIdle(b, true) }),
 		benchResult(BenchTickSparse, benchFlitnetSparse),
+		benchResult("timeline-sample", benchTimelineSample),
 	}
 }
 
@@ -195,6 +198,43 @@ func benchFlitnetSparse(b *testing.B) {
 		}
 		net.Tick(1)
 	}
+}
+
+// benchTimelineSample is the exported-API twin of the timeline package's
+// BenchmarkSamplerAdvance: every op mutates a working set of counters, a
+// gauge, and a histogram, then advances a 1-cycle-window sampler — the
+// worst case, closing a window per op. Steady-state sampling promises zero
+// allocations; the timeline rotates via Reset (also allocation-free, it
+// keeps capacity) once the retained windows reach a server-like working
+// size, so a long measured pass cannot grow the arenas.
+func benchTimelineSample(b *testing.B) {
+	reg := obs.NewRegistry()
+	counters := make([]*obs.Counter, 8)
+	for i := range counters {
+		counters[i] = reg.Counter(obs.Key{Name: "protocol_events_total", Node: i, Proto: "finite", Event: "finite.start"})
+	}
+	lvl := reg.Level(obs.Key{Name: "flitnet_inflight_worms", Node: -1, Proto: "flitnet"})
+	h := reg.Histogram(obs.Key{Name: "lat", Node: 0, Proto: "finite"}, nil)
+	s := timeline.New(reg, timeline.Config{Interval: 1})
+	const rotateAt = 1 << 15
+	cycle := uint64(0)
+	loop := func(n int) {
+		for i := 0; i < n; i++ {
+			cycle++
+			counters[i%len(counters)].Inc()
+			lvl.Set(int64(i & 7))
+			h.Observe(uint64(i % 300))
+			s.Advance(cycle)
+			if s.Windows() >= rotateAt {
+				s.Reset(cycle)
+			}
+		}
+	}
+	loop(rotateAt) // grow every arena to its steady working size
+	s.Reset(cycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	loop(b.N)
 }
 
 // noopEvent is package-level so scheduling it allocates no closure.

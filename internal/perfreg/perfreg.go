@@ -34,6 +34,7 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
@@ -41,13 +42,16 @@ import (
 )
 
 // SchemaVersion identifies the snapshot layout; bump on incompatible
-// changes. Version 3 added the event-driven engine benchmarks (idle
-// fast-forward and sparse occupancy, with the dense-reference baseline
-// recorded in the same run so the idle speedup gates within one snapshot).
-// Version 2 added the parallelism stamp and the allocation benchmark
-// section. Older snapshots still load: the new sections are simply absent,
-// and absent sections are not gated.
-const SchemaVersion = 3
+// changes. Version 4 added the timeline digests (per-scenario windowed
+// metrics timelines hashed into sim keys, so any PR that shifts *when*
+// events happen fails the exact-equality gate even if the totals agree)
+// and the timeline-sample allocation benchmark. Version 3 added the
+// event-driven engine benchmarks (idle fast-forward and sparse occupancy,
+// with the dense-reference baseline recorded in the same run so the idle
+// speedup gates within one snapshot). Version 2 added the parallelism
+// stamp and the allocation benchmark section. Older snapshots still load:
+// the new sections are simply absent, and absent sections are not gated.
+const SchemaVersion = 4
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -178,15 +182,39 @@ func Record(cfg RecordConfig) (*Snapshot, error) {
 	return snap, nil
 }
 
+// Timeline window widths for the recorded digests: scheduler rounds for
+// the protocol scenarios, flit cycles for the netload point. Changing
+// either changes every digest, which the exact-equality gate flags the
+// same way a schema bump would.
+const (
+	protoTimelineInterval = 8
+	netTimelineInterval   = 100
+)
+
 // recordProtocolScenario records one canonical protocol scenario.
 func recordProtocolScenario(name string, words, reps, workers int) (*ScenarioResult, error) {
 	// Observed run: sim metrics, excluded from timing. Always serial — it
-	// mutates the experiments package's global observer.
+	// mutates the experiments package's global observer. A timeline sampler
+	// rides the hub's round clock so the snapshot pins not just the totals
+	// but their distribution over simulated time.
 	hub := obs.NewHub()
+	sampler := timeline.New(hub.Metrics, timeline.Config{Interval: protoTimelineInterval})
+	hub.SetTickListener(sampler.Advance)
 	experiments.SetObserver(hub)
 	cells, err := experiments.RunCanonical(name, words)
 	experiments.SetObserver(nil)
 	if err != nil {
+		return nil, err
+	}
+	// The single-packet scenario never enters the observed run loop, so the
+	// hub's round clock stays at zero; flushing at round 1 puts its whole
+	// run in one partial window instead of losing it.
+	end := hub.Round()
+	if end == 0 {
+		end = 1
+	}
+	sampler.Flush(end)
+	if err := sampler.Reconcile(); err != nil {
 		return nil, err
 	}
 	sim := simFromCells(cells)
@@ -195,6 +223,9 @@ func recordProtocolScenario(name string, words, reps, workers int) (*ScenarioRes
 		sim["packets/sent"] += hub.Metrics.CounterValue(obs.Key{Name: "packets_sent_total", Node: node, Proto: "cmam"})
 		sim["packets/received"] += hub.Metrics.CounterValue(obs.Key{Name: "packets_received_total", Node: node, Proto: "cmam"})
 	}
+	tl := sampler.Snapshot()
+	sim["timeline/digest"] = tl.DigestValue
+	sim["timeline/windows"] = uint64(len(tl.Windows))
 
 	res := &ScenarioResult{Name: name, Sim: sim}
 	err = timedReps(&res.Host, reps, workers, func(rep int) error {
@@ -319,13 +350,27 @@ func featureSlug(f cost.Feature) string {
 // fat tree under uniform traffic at offered load 0.1, for all three routing
 // modes. The flit simulator is seeded, so its stats are deterministic.
 func recordNetloadScenario(cycles, reps, workers int) (*ScenarioResult, error) {
-	stats, err := runNetloadPoint(cycles)
+	stats, err := runNetloadPoint(cycles, false)
 	if err != nil {
 		return nil, err
 	}
-	res := &ScenarioResult{Name: NetloadScenario, Sim: stats}
+	// Observed pass: the same point under a hub with a timeline sampler on
+	// the cycle clock. Observation must not change the flit stats, and the
+	// per-mode timeline digests join the exact-equality gate. The timed
+	// repetitions below stay unobserved so the host samples keep measuring
+	// the bare simulator.
+	observed, err := runNetloadPoint(cycles, true)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range stats {
+		if observed[k] != v {
+			return nil, fmt.Errorf("observation drifted %s: %d observed, %d bare", k, observed[k], v)
+		}
+	}
+	res := &ScenarioResult{Name: NetloadScenario, Sim: observed}
 	err = timedReps(&res.Host, reps, workers, func(rep int) error {
-		again, err := runNetloadPoint(cycles)
+		again, err := runNetloadPoint(cycles, false)
 		if err != nil {
 			return err
 		}
@@ -347,8 +392,11 @@ const (
 )
 
 // runNetloadPoint runs the pinned sweep point once per routing mode and
-// returns the flattened deterministic stats.
-func runNetloadPoint(cycles int) (map[string]uint64, error) {
+// returns the flattened deterministic stats. With observe set, each mode
+// additionally runs under a hub whose timeline sampler rides the cycle
+// listener, and the reconciled timeline's digest and window count join the
+// returned map.
+func runNetloadPoint(cycles int, observe bool) (map[string]uint64, error) {
 	pattern, err := workload.ByName("uniform")
 	if err != nil {
 		return nil, err
@@ -368,6 +416,13 @@ func runNetloadPoint(cycles int) (map[string]uint64, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		var sampler *timeline.Sampler
+		if observe {
+			hub := obs.NewHub()
+			net.SetFlitObserver(hub.FlitScope())
+			sampler = timeline.New(hub.Metrics, timeline.Config{Interval: netTimelineInterval})
+			net.SetCycleListener(sampler.Advance)
 		}
 		nodes := net.Nodes()
 		gen, err := workload.NewGenerator(pattern, nodes, netloadLoad, netloadSeed)
@@ -394,6 +449,15 @@ func runNetloadPoint(cycles int) (map[string]uint64, error) {
 		}
 		st := net.FlitStats()
 		prefix := "net/" + mode.String() + "/"
+		if sampler != nil {
+			sampler.Flush(net.Cycle())
+			if err := sampler.Reconcile(); err != nil {
+				return nil, fmt.Errorf("%s: %w", mode, err)
+			}
+			tl := sampler.Snapshot()
+			out[prefix+"timeline_digest"] = tl.DigestValue
+			out[prefix+"timeline_windows"] = uint64(len(tl.Windows))
+		}
 		out[prefix+"injected"] = st.Injected
 		out[prefix+"delivered"] = st.Delivered
 		out[prefix+"backpressure"] = st.Backpressure

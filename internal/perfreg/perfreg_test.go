@@ -48,8 +48,19 @@ func TestPerfregRecordShape(t *testing.T) {
 			if sc.Sim["instr/total"] == 0 {
 				t.Errorf("%s: zero total instruction count", sc.Name)
 			}
-		} else if sc.Sim["net/deterministic/delivered"] == 0 {
-			t.Errorf("%s: zero delivered packets: %v", sc.Name, sc.Sim)
+			if sc.Sim["timeline/digest"] == 0 || sc.Sim["timeline/windows"] == 0 {
+				t.Errorf("%s: timeline digest missing: digest=%d windows=%d",
+					sc.Name, sc.Sim["timeline/digest"], sc.Sim["timeline/windows"])
+			}
+		} else {
+			if sc.Sim["net/deterministic/delivered"] == 0 {
+				t.Errorf("%s: zero delivered packets: %v", sc.Name, sc.Sim)
+			}
+			for _, mode := range []string{"deterministic", "adaptive", "cr"} {
+				if sc.Sim["net/"+mode+"/timeline_digest"] == 0 || sc.Sim["net/"+mode+"/timeline_windows"] == 0 {
+					t.Errorf("%s: %s timeline digest missing: %v", sc.Name, mode, sc.Sim)
+				}
+			}
 		}
 	}
 }
@@ -269,8 +280,8 @@ func TestPerfregRecordBenchesSmoke(t *testing.T) {
 		t.Skip("allocation benchmarks take a couple of seconds")
 	}
 	benches := recordBenches()
-	if len(benches) != 5 {
-		t.Fatalf("got %d benches, want 5", len(benches))
+	if len(benches) != 6 {
+		t.Fatalf("got %d benches, want 6", len(benches))
 	}
 	byName := make(map[string]BenchResult, len(benches))
 	for _, b := range benches {

@@ -113,11 +113,14 @@ var DeliberatelySkipped = map[string]bool{
 }
 
 // observer, when set, receives a trace_undescribed_total counter bump for
-// every undescribed event any figure run emits.
+// every undescribed event any figure run emits. Figure machines also
+// attach it as their observability hub, so runs record full node scopes
+// (packet counters, queue depths, protocol trace events) and tick the
+// hub's round clock.
 var observer *obs.Hub
 
-// SetObserver installs (or clears, with nil) the hub figure runs report
-// undescribed events to.
+// SetObserver installs (or clears, with nil) the hub figure runs record
+// into.
 func SetObserver(h *obs.Hub) { observer = h }
 
 // recorder wires event listeners on both nodes of a machine.
@@ -160,6 +163,9 @@ func twoNodeCM5(reorder network.ReorderPolicy) *machine.Machine {
 	m := machine.MustNew(net, cost.MustPaperSchedule(4))
 	m.Node(0).SetRole(cost.Source)
 	m.Node(1).SetRole(cost.Destination)
+	if observer != nil {
+		m.AttachObserver(observer)
+	}
 	return m
 }
 
@@ -168,6 +174,9 @@ func twoNodeCR() (*machine.Machine, *network.CRNet) {
 	m := machine.MustNew(net, cost.MustPaperSchedule(4))
 	m.Node(0).SetRole(cost.Source)
 	m.Node(1).SetRole(cost.Destination)
+	if observer != nil {
+		m.AttachObserver(observer)
+	}
 	return m, net
 }
 
@@ -191,7 +200,7 @@ func Figure3(words int) (Trace, error) {
 	if err != nil {
 		return Trace{}, err
 	}
-	err = machine.Run(10000,
+	err = m.Run(10000,
 		machine.StepFunc(func() (bool, error) { return tr.Done(), src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return tr.Done(), dst.Pump() }),
 	)
@@ -219,7 +228,7 @@ func Figure4(packets int) (Trace, error) {
 			return Trace{}, err
 		}
 	}
-	err := machine.Run(10000,
+	err := m.Run(10000,
 		machine.StepFunc(func() (bool, error) { return conn.Idle(), src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return conn.Idle(), dst.Pump() }),
 	)
@@ -253,7 +262,7 @@ func Figure5(words int) (Trace, error) {
 	if err != nil {
 		return Trace{}, err
 	}
-	err = machine.Run(10000,
+	err = m.Run(10000,
 		machine.StepFunc(func() (bool, error) { return tr.Done() && done, src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return tr.Done() && done, dst.Pump() }),
 	)
@@ -283,7 +292,7 @@ func Figure7(packets int) (Trace, error) {
 			return Trace{}, err
 		}
 	}
-	err := machine.Run(10000,
+	err := m.Run(10000,
 		machine.StepFunc(func() (bool, error) { return delivered == packets, src.Pump() }),
 		machine.StepFunc(func() (bool, error) { return delivered == packets, dst.Pump() }),
 	)

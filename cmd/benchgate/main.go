@@ -28,12 +28,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"msglayer/internal/obs/diff"
 	"msglayer/internal/perfreg"
 )
 
@@ -57,10 +59,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 0.10, "fractional host-metric regression that fails the gate")
 	alpha := fs.Float64("alpha", 0.05, "significance level a host regression must reach to fail")
 	simOnly := fs.Bool("sim-only", false, "gate only the deterministic metrics — sim counts and bench allocs/op (CI mode)")
+	jsonOut := fs.Bool("json", false, "with -compare, emit the machine-readable result (verdict, failing keys, diff attribution)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "benchgate: record and gate performance snapshots")
 		fmt.Fprintln(stderr, "  benchgate -record out.json [-label L] [-n 5] [-words 64] [-netload-cycles 1000] [-parallel 0] [-no-benches]")
-		fmt.Fprintln(stderr, "  benchgate -compare [-threshold 0.10] [-alpha 0.05] [-sim-only] old.json new.json")
+		fmt.Fprintln(stderr, "  benchgate -compare [-threshold 0.10] [-alpha 0.05] [-sim-only] [-json] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *record != "" && *compare:
 		fmt.Fprintln(stderr, "benchgate: -record and -compare are mutually exclusive")
+		return 2
+	case *jsonOut && !*compare:
+		fmt.Fprintln(stderr, "benchgate: -json only applies to -compare")
 		return 2
 	case *record != "":
 		return doRecord(perfreg.RecordConfig{
@@ -90,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			HostThreshold: *threshold,
 			Alpha:         *alpha,
 			SimOnly:       *simOnly,
-		}, stdout, stderr)
+		}, *jsonOut, stdout, stderr)
 	}
 	fs.Usage()
 	return 2
@@ -113,8 +119,11 @@ func doRecord(cfg perfreg.RecordConfig, path string, stdout, stderr io.Writer) i
 	return 0
 }
 
-// doCompare gates new against old and prints the verdict table.
-func doCompare(oldPath, newPath string, opt perfreg.CompareOptions, stdout, stderr io.Writer) int {
+// doCompare gates new against old and prints the verdict table (or, with
+// jsonOut, the machine-readable result). When a deterministic gate fails,
+// the diff engine attributes the regression — which cells moved, by how
+// much, and their blame shares — instead of leaving a bare key list.
+func doCompare(oldPath, newPath string, opt perfreg.CompareOptions, jsonOut bool, stdout, stderr io.Writer) int {
 	oldSnap, err := perfreg.ReadFile(oldPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchgate:", err)
@@ -130,11 +139,73 @@ func doCompare(oldPath, newPath string, opt perfreg.CompareOptions, stdout, stde
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 1
 	}
+	attribution := simAttribution(rep, oldSnap, newSnap)
+
+	if jsonOut {
+		doc := struct {
+			Old         snapshotRef     `json:"old"`
+			New         snapshotRef     `json:"new"`
+			Pass        bool            `json:"pass"`
+			SimChecked  int             `json:"sim_checked"`
+			SimEqual    int             `json:"sim_equal"`
+			Failing     []perfreg.Delta `json:"failing,omitempty"`
+			Attribution *diff.Report    `json:"attribution,omitempty"`
+		}{
+			Old:        snapshotRef{Path: oldPath, Label: oldSnap.Label},
+			New:        snapshotRef{Path: newPath, Label: newSnap.Label},
+			Pass:       rep.Pass,
+			SimChecked: rep.SimChecked,
+			SimEqual:   rep.SimEqual,
+			Failing:    rep.Failing(),
+		}
+		doc.Attribution = attribution
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(out))
+		if !rep.Pass {
+			return 1
+		}
+		return 0
+	}
+
 	fmt.Fprintf(stdout, "benchgate: %q (%s) vs %q (%s)\n",
 		oldSnap.Label, oldPath, newSnap.Label, newPath)
 	fmt.Fprint(stdout, rep.String())
+	if attribution != nil {
+		fmt.Fprintf(stdout, "\n-- differential attribution (obsdiff) --\n")
+		if err := diff.WriteText(stdout, attribution); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 1
+		}
+	}
 	if !rep.Pass {
 		return 1
 	}
 	return 0
+}
+
+// snapshotRef identifies one compared snapshot in the JSON result.
+type snapshotRef struct {
+	Path  string `json:"path"`
+	Label string `json:"label"`
+}
+
+// simAttribution runs the diff engine over the snapshots when a
+// deterministic gate failed — the failures the engine can explain exactly.
+// Host-metric failures are noise-gated elsewhere and get no attribution.
+func simAttribution(rep *perfreg.Report, oldSnap, newSnap *perfreg.Snapshot) *diff.Report {
+	deterministic := false
+	for _, d := range rep.Failing() {
+		if d.Kind == "sim" || d.Kind == "bench" {
+			deterministic = true
+			break
+		}
+	}
+	if !deterministic {
+		return nil
+	}
+	return diff.ComparePerfreg(oldSnap, newSnap)
 }

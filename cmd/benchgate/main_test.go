@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"msglayer/internal/obs/diff"
 	"msglayer/internal/perfreg"
 )
 
@@ -72,6 +74,129 @@ func TestBenchgateInjectedRegressionFails(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "verdict: FAIL") {
 		t.Fatalf("no FAIL verdict:\n%s", stdout.String())
+	}
+}
+
+// injectRegression shifts one instruction cell (and the recorded total,
+// keeping the waterfall complete) in every scenario of a snapshot copy.
+func injectRegression(t *testing.T, from, to string) {
+	t.Helper()
+	snap, err := perfreg.ReadFile(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Scenarios {
+		sim := snap.Scenarios[i].Sim
+		for k := range sim {
+			if strings.HasPrefix(k, "instr/") && k != "instr/total" {
+				sim[k] += 100
+				sim["instr/total"] += 100
+				break
+			}
+		}
+	}
+	if err := snap.WriteFile(to); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchgateFailureIncludesAttribution(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	record(t, a)
+	bad := filepath.Join(dir, "bad.json")
+	injectRegression(t, a, bad)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", "-sim-only", a, bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("injected regression exited %d, want 1:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"verdict: FAIL", "-- differential attribution (obsdiff) --", "top movers", "instr/total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("failure output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A passing compare prints no attribution section.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", "-sim-only", a, a}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare exited %d:\n%s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "differential attribution") {
+		t.Fatalf("passing compare printed an attribution section:\n%s", stdout.String())
+	}
+}
+
+func TestBenchgateCompareJSON(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	record(t, a)
+	bad := filepath.Join(dir, "bad.json")
+	injectRegression(t, a, bad)
+
+	type result struct {
+		Old struct {
+			Path  string `json:"path"`
+			Label string `json:"label"`
+		} `json:"old"`
+		Pass        bool            `json:"pass"`
+		SimChecked  int             `json:"sim_checked"`
+		SimEqual    int             `json:"sim_equal"`
+		Failing     []perfreg.Delta `json:"failing"`
+		Attribution *diff.Report    `json:"attribution"`
+	}
+
+	runJSON := func(oldPath, newPath string, wantCode int) (result, string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-compare", "-sim-only", "-json", oldPath, newPath}, &stdout, &stderr); code != wantCode {
+			t.Fatalf("-json compare exited %d, want %d:\n%s", code, wantCode, stderr.String())
+		}
+		var res result
+		if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+			t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+		}
+		return res, stdout.String()
+	}
+
+	pass, _ := runJSON(a, a, 0)
+	if !pass.Pass || len(pass.Failing) != 0 || pass.Attribution != nil {
+		t.Fatalf("self-compare JSON = pass=%v failing=%d attribution=%v", pass.Pass, len(pass.Failing), pass.Attribution)
+	}
+	if pass.SimChecked == 0 || pass.SimChecked != pass.SimEqual {
+		t.Fatalf("self-compare sim counts = %d/%d", pass.SimEqual, pass.SimChecked)
+	}
+	if pass.Old.Path != a || pass.Old.Label != "t" {
+		t.Fatalf("old ref = %+v", pass.Old)
+	}
+
+	fail, out1 := runJSON(a, bad, 1)
+	if fail.Pass || len(fail.Failing) == 0 {
+		t.Fatalf("regression JSON = pass=%v failing=%d", fail.Pass, len(fail.Failing))
+	}
+	for _, d := range fail.Failing {
+		if d.OK {
+			t.Fatalf("failing list contains a passing delta: %+v", d)
+		}
+	}
+	if fail.Attribution == nil || fail.Attribution.Kind != "perfreg" || len(fail.Attribution.Sections) == 0 {
+		t.Fatalf("regression JSON carries no attribution: %+v", fail.Attribution)
+	}
+	if err := fail.Attribution.Reconcile(); err != nil {
+		t.Fatalf("embedded attribution does not reconcile: %v", err)
+	}
+
+	// The machine-readable result is deterministic.
+	if _, out2 := runJSON(a, bad, 1); out1 != out2 {
+		t.Fatal("-json output is not byte-identical across invocations")
+	}
+
+	// -json without -compare is a usage error.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-record", filepath.Join(dir, "x.json")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json with -record exited %d, want 2", code)
 	}
 }
 

@@ -22,6 +22,7 @@
 //	critpath -flow-scenario cr-stream # which scenario the flow trace covers
 //	critpath -noflit                  # skip the flit-level grid
 //	critpath -parallel 8 -dense       # flit grid workers / dense reference engine
+//	critpath -timeline-out tl.json    # windowed metrics timeline (.csv for CSV)
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
@@ -65,11 +67,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cycles := fs.Int("cycles", 400, "cycles per flit-grid point")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the flit grid (0 = GOMAXPROCS, 1 = serial)")
 	dense := fs.Bool("dense", false, "use the dense reference flit engine (report is byte-identical)")
+	timelineOut := fs.String("timeline-out", "",
+		"run the selected protocol scenarios into one shared hub, sampling windowed metric deltas on the round clock, and write the timeline (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON)")
+	timelineInterval := fs.Int("timeline-interval", 16, "timeline window width in machine rounds")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "critpath: per-message critical-path latency attribution")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *timelineInterval < 1 {
+		fmt.Fprintln(stderr, "critpath: -timeline-interval must be >= 1")
 		return 2
 	}
 
@@ -138,6 +147,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "critpath: flit %s load %.2f: reconciliation failed: %v\n", p.mode, p.load, err)
 				return 1
 			}
+		}
+	}
+
+	// The per-scenario hubs above are fresh per run (reconciliation demands
+	// it), so the timeline samples a separate pass: the same scenario
+	// sequence into one shared hub, windows closing on the round clock.
+	if *timelineOut != "" {
+		tl, err := runTimeline(scenarios, *words, uint64(*timelineInterval))
+		if err != nil {
+			fmt.Fprintln(stderr, "critpath:", err)
+			return 1
+		}
+		render := func(w io.Writer) error {
+			if strings.HasSuffix(*timelineOut, ".csv") {
+				return timeline.WriteCSV(w, tl)
+			}
+			return timeline.WriteJSON(w, tl)
+		}
+		if err := writeTo(*timelineOut, stdout, render); err != nil {
+			fmt.Fprintln(stderr, "critpath:", err)
+			return 1
 		}
 	}
 
@@ -231,6 +261,33 @@ func runScenario(name string, words int) (*obs.Hub, error) {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return h, nil
+}
+
+// runTimeline runs the scenario sequence into one shared hub with a
+// timeline sampler on the round clock and returns the reconciled timeline.
+func runTimeline(scenarios []string, words int, interval uint64) (*timeline.Timeline, error) {
+	h := obs.NewHub()
+	sampler := timeline.New(h.Metrics, timeline.Config{Interval: interval})
+	h.SetTickListener(sampler.Advance)
+	experiments.SetObserver(h)
+	defer experiments.SetObserver(nil)
+	for _, name := range scenarios {
+		if _, err := experiments.RunCanonical(name, words); err != nil {
+			return nil, fmt.Errorf("timeline: %s: %w", name, err)
+		}
+	}
+	// A scenario that never ticks the round clock (single-packet delivery)
+	// still closes one window holding all its deltas.
+	end := h.Round()
+	if end == 0 {
+		end = 1
+	}
+	sampler.Flush(end)
+	// Window deltas must sum exactly to the final registry totals.
+	if err := sampler.Reconcile(); err != nil {
+		return nil, fmt.Errorf("timeline reconciliation: %w", err)
+	}
+	return sampler.Snapshot(), nil
 }
 
 // runFlitPoint runs one (mode, load) point of the transit grid on a fat

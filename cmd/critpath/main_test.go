@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,5 +92,49 @@ func TestUnknownScenarioFails(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-scenarios", "nope", "-noflit"}, &stdout, &stderr); code == 0 {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestObsCritpathTimeline exercises -timeline-out: the scenario sequence
+// runs again into one sampled hub, the export reconciles (the writer
+// refuses otherwise), and a .csv suffix selects the CSV form.
+func TestObsCritpathTimeline(t *testing.T) {
+	dir := t.TempDir()
+	tlPath := filepath.Join(dir, "tl.json")
+	out := render(t, "-noflit", "-scenarios", "cm5-finite,cr-finite", "-words", "16",
+		"-timeline-out", tlPath, "-timeline-interval", "8")
+	if !strings.Contains(out, "scenario cm5-finite") {
+		t.Fatalf("report missing scenario section:\n%.500s", out)
+	}
+	data, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Interval uint64            `json:"interval"`
+		Windows  []json.RawMessage `json:"windows"`
+		Digest   string            `json:"digest"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("timeline does not parse: %v", err)
+	}
+	if doc.Interval != 8 || len(doc.Windows) == 0 || doc.Digest == "" {
+		t.Fatalf("timeline missing fields: interval=%d windows=%d digest=%q", doc.Interval, len(doc.Windows), doc.Digest)
+	}
+
+	csvPath := filepath.Join(dir, "tl.csv")
+	render(t, "-noflit", "-scenarios", "single", "-timeline-out", csvPath)
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "window,start,end") {
+		t.Fatalf("csv header: %.100s", csv)
+	}
+
+	// A bad interval is a usage error before any run happens.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-timeline-interval", "0", "-timeline-out", "-"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("interval 0 exited %d, want 2", code)
 	}
 }

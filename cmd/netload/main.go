@@ -39,6 +39,7 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/diff"
 	"msglayer/internal/obs/serve"
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
@@ -82,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	timelineOut := fs.String("timeline-out", "",
 		"sample every point's metrics into simulated-cycle windows and write the timelines (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON); adds a per-phase analysis to the text report")
 	timelineInterval := fs.Int("timeline-interval", 100, "timeline window width in simulated cycles")
+	baselineOut := fs.String("baseline", "",
+		"emit the paper's baseline-vs-CR comparison (Figure 6) as an obsdiff report: per-load deterministic-routing points diffed against their CR points, link by link (\"-\" = stdout; .json/.csv suffixes select the format, otherwise text)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -189,6 +192,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		idle      uint64
 		hub       *obs.Hub           // per-point span-traced hub, -critpath only
 		tl        *timeline.Timeline // per-point windowed timeline, -timeline-out only
+		metrics   []obs.JSONMetric   // per-point registry export, -baseline only
 	}
 	if *timelineInterval < 1 {
 		fmt.Fprintln(stderr, "netload: -timeline-interval must be >= 1")
@@ -207,7 +211,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		// in input order and stay byte-identical at any worker count.
 		var pointHub *obs.Hub
 		var scope *obs.FlitScope
-		if *critpathOut != "" || *timelineOut != "" {
+		if *critpathOut != "" || *timelineOut != "" || *baselineOut != "" {
 			pointHub = obs.NewHub()
 			scope = pointHub.FlitScope()
 		}
@@ -222,6 +226,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		res := pointResult{thru: thru, lat: lat, st: st, idle: idle}
 		if *critpathOut != "" {
 			res.hub = pointHub
+		}
+		if *baselineOut != "" {
+			res.metrics = pointHub.Metrics.JSONMetrics()
 		}
 		if sampler != nil {
 			// Every window's deltas must sum exactly to the point's final
@@ -324,6 +331,50 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			enc.SetIndent("", "  ")
 			return enc.Encode(doc)
 		})
+		if err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
+	}
+
+	if *baselineOut != "" {
+		// Figure 6: the baseline network (deterministic routing) against its
+		// CR variant, one aligned comparison per offered load. Each point's
+		// per-link flit counters diff under the engine-recorded move totals,
+		// so the waterfall provably accounts for the whole traffic change.
+		base := make(map[string]diff.Run)
+		cr := make(map[string]diff.Run)
+		for i := 0; i < prefix; i++ {
+			mode := modes[i%len(modes)]
+			if mode != flitnet.Deterministic && mode != flitnet.CR {
+				continue
+			}
+			key := fmt.Sprintf("load=%04d", int(loads[i/len(modes)]*1000))
+			run := diff.Run{
+				Label:     mode.String() + " " + key,
+				Metrics:   results[i].metrics,
+				Timeline:  results[i].tl,
+				FlitMoves: results[i].st.FlitMoves,
+			}
+			if mode == flitnet.Deterministic {
+				base[key] = run
+			} else {
+				cr[key] = run
+			}
+		}
+		rep := diff.CompareRunGrid("deterministic", "cr", base, cr)
+		if err := rep.Reconcile(); err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
+		render := diff.WriteText
+		switch {
+		case strings.HasSuffix(*baselineOut, ".json"):
+			render = diff.WriteJSON
+		case strings.HasSuffix(*baselineOut, ".csv"):
+			render = diff.WriteCSV
+		}
+		err := writeTo(*baselineOut, stdout, func(w io.Writer) error { return render(w, rep) })
 		if err != nil {
 			fmt.Fprintln(stderr, "netload:", err)
 			return 1

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"msglayer/internal/flitnet"
+	"msglayer/internal/obs/diff"
 	"msglayer/internal/topology"
 	"msglayer/internal/workload"
 )
@@ -468,6 +469,94 @@ func TestObsNetloadTimelineDeterminism(t *testing.T) {
 	}
 	if stripIdleLines(denseOut) != stripIdleLines(baseOut) {
 		t.Error("report differs between flit engines beyond idle accounting")
+	}
+}
+
+// renderBaseline runs a small sweep with -baseline and returns the report
+// file contents.
+func renderBaseline(t *testing.T, name string, extra ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	var out, errOut strings.Builder
+	args := append([]string{"-loads", "0.05,0.2", "-cycles", "300", "-k", "2", "-levels", "2",
+		"-baseline", path}, extra...)
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d: %s", extra, code, errOut.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestObsNetloadBaseline exercises -baseline: the Figure 6 comparison —
+// baseline deterministic routing diffed against CR per offered load — as a
+// reconciled obsdiff report with per-link waterfalls pinned to the
+// engines' own flit-move totals.
+func TestObsNetloadBaseline(t *testing.T) {
+	text := renderBaseline(t, "fig6.txt")
+	for _, want := range []string{
+		"obsdiff run-grid: A=deterministic B=cr",
+		"load=0050/links (flits)",
+		"load=0200/links (flits)",
+		"total = load=0200/stats/flit_moves",
+		"top movers",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("baseline report missing %q:\n%s", want, text)
+		}
+	}
+
+	js := renderBaseline(t, "fig6.json")
+	var rep diff.Report
+	if err := json.Unmarshal([]byte(js), &rep); err != nil {
+		t.Fatalf("baseline JSON does not parse: %v", err)
+	}
+	if rep.Kind != "run-grid" {
+		t.Fatalf("report kind = %q", rep.Kind)
+	}
+	if err := rep.Reconcile(); err != nil {
+		t.Fatalf("baseline report does not reconcile: %v", err)
+	}
+	if rep.Zero() {
+		t.Fatal("deterministic-vs-CR diff is zero; CR retries should move link traffic")
+	}
+	linkSections := 0
+	for _, s := range rep.Sections {
+		if strings.HasSuffix(s.Name, "/links") {
+			linkSections++
+			if s.TotalKey == "" || len(s.Terms) == 0 {
+				t.Errorf("section %s: not pinned (%q) or empty (%d terms)", s.Name, s.TotalKey, len(s.Terms))
+			}
+		}
+	}
+	if linkSections != 2 {
+		t.Fatalf("got %d per-load link sections, want 2", linkSections)
+	}
+
+	if !strings.HasPrefix(renderBaseline(t, "fig6.csv"), "kind,section,unit,key,a,b,delta,permille,only_in\n") {
+		t.Error("csv baseline report missing header")
+	}
+}
+
+// TestObsNetloadBaselineDeterminism: the baseline report is byte-identical
+// at any worker count and between flit engines, and composes with
+// -timeline-out (per-phase deltas ride the same report).
+func TestObsNetloadBaselineDeterminism(t *testing.T) {
+	base := renderBaseline(t, "fig6.txt")
+	if got := renderBaseline(t, "fig6.txt", "-parallel", "8"); got != base {
+		t.Error("baseline report differs between -parallel 1 and -parallel 8")
+	}
+	if got := renderBaseline(t, "fig6.txt", "-dense"); got != base {
+		t.Error("baseline report differs between flit engines")
+	}
+
+	dir := t.TempDir()
+	withTL := renderBaseline(t, "fig6.txt", "-timeline-out", filepath.Join(dir, "tl.json"), "-timeline-interval", "64")
+	if !strings.Contains(withTL, "load=0200/timeline/phases") {
+		t.Errorf("baseline report with -timeline-out missing per-phase deltas:\n%s", withTL)
 	}
 }
 

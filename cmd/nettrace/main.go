@@ -9,6 +9,7 @@
 //	nettrace -packets 6      # packet count for figures 4 and 7
 //	nettrace -metrics m.txt  # dump the runs' metrics ("-" = stdout)
 //	nettrace -trace-out t.json  # Chrome trace-event JSON of the runs
+//	nettrace -timeline-out tl.json  # windowed metrics timeline (.csv for CSV)
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
 	"msglayer/internal/trace"
 )
 
@@ -34,17 +37,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	packets := fs.Int("packets", 4, "packet count for figures 4 and 7")
 	metricsOut := fs.String("metrics", "", "dump the figure runs' metrics to a file (\"-\" = stdout)")
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON of the figure runs (\"-\" = stdout)")
+	timelineOut := fs.String("timeline-out", "",
+		"sample the figure runs' metrics into windowed deltas on the machine-round clock and write the timeline (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON)")
+	timelineInterval := fs.Int("timeline-interval", 16, "timeline window width in machine rounds")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *timelineInterval < 1 {
+		fmt.Fprintln(stderr, "nettrace: -timeline-interval must be >= 1")
+		return 2
+	}
 
-	// With -metrics/-trace-out the figure machines attach a hub, so the
-	// runs record full node scopes alongside the printed step diagrams.
+	// With -metrics/-trace-out/-timeline-out the figure machines attach a
+	// hub, so the runs record full node scopes alongside the printed step
+	// diagrams.
 	var hub *obs.Hub
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *timelineOut != "" {
 		hub = obs.NewHub()
 		trace.SetObserver(hub)
 		defer trace.SetObserver(nil)
+	}
+	// The timeline sampler rides the hub's round clock across all the
+	// figure runs; windows close as the shared round counter crosses
+	// interval boundaries.
+	var sampler *timeline.Sampler
+	if *timelineOut != "" {
+		sampler = timeline.New(hub.Metrics, timeline.Config{Interval: uint64(*timelineInterval)})
+		hub.SetTickListener(sampler.Advance)
 	}
 
 	runners := map[int]func() (trace.Trace, error){
@@ -79,6 +98,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *traceOut != "" {
 			if err := writeTo(*traceOut, stdout, hub.Trace.WriteChromeTrace); err != nil {
+				fmt.Fprintln(stderr, "nettrace:", err)
+				return 1
+			}
+		}
+		if sampler != nil {
+			// A run that never ticked the round clock still closes one
+			// window holding all its deltas.
+			end := hub.Round()
+			if end == 0 {
+				end = 1
+			}
+			sampler.Flush(end)
+			// Window deltas must sum exactly to the final registry totals.
+			if err := sampler.Reconcile(); err != nil {
+				fmt.Fprintln(stderr, "nettrace: timeline reconciliation:", err)
+				return 1
+			}
+			tl := sampler.Snapshot()
+			render := func(w io.Writer) error {
+				if strings.HasSuffix(*timelineOut, ".csv") {
+					return timeline.WriteCSV(w, tl)
+				}
+				return timeline.WriteJSON(w, tl)
+			}
+			if err := writeTo(*timelineOut, stdout, render); err != nil {
 				fmt.Fprintln(stderr, "nettrace:", err)
 				return 1
 			}

@@ -90,3 +90,49 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 }
+
+// TestObsNettraceTimeline exercises -timeline-out: the figure runs ride a
+// sampled hub, the export reconciles (the writer refuses otherwise), and a
+// .csv suffix selects the CSV form.
+func TestObsNettraceTimeline(t *testing.T) {
+	dir := t.TempDir()
+	tlPath := filepath.Join(dir, "tl.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-timeline-out", tlPath, "-timeline-interval", "8"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Interval uint64                   `json:"interval"`
+		Windows  []map[string]interface{} `json:"windows"`
+		Digest   string                   `json:"digest"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("timeline does not parse: %v", err)
+	}
+	if doc.Interval != 8 || len(doc.Windows) == 0 || doc.Digest == "" {
+		t.Fatalf("timeline missing fields: interval=%d windows=%d digest=%q", doc.Interval, len(doc.Windows), doc.Digest)
+	}
+
+	csvPath := filepath.Join(dir, "tl.csv")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-figure", "4", "-timeline-out", csvPath}, &out, &errOut); code != 0 {
+		t.Fatalf("csv exit %d: %s", code, errOut.String())
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "window,start,end") {
+		t.Fatalf("csv header: %.100s", csv)
+	}
+
+	// A bad interval is a usage error before any run happens.
+	if code := run([]string{"-timeline-out", "-", "-timeline-interval", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("interval 0 exited %d, want 2", code)
+	}
+}

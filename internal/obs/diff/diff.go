@@ -1,0 +1,309 @@
+// Package diff is the differential attribution engine: it aligns the
+// observability artifacts of two runs — perfreg snapshots, metrics JSON
+// exports, critical-path reports, and windowed timelines — and decomposes
+// the difference between them into exactly-reconciled delta waterfalls.
+//
+// Where critpath and timeline explain one run ("where did the time go?"),
+// diff explains a pair ("where did the time go *between* these runs?") —
+// the question the paper's headline figures answer by comparing the
+// baseline CMAM protocols against their CR-network variants. Every section
+// of a report is a waterfall whose terms provably sum to the section's
+// total delta (Reconcile, in the style of critpath and timeline), so "B
+// costs 3000 instructions more than A" always comes with the cells
+// responsible and their exact shares.
+//
+// The engine is deterministic end to end: sections and terms are sorted,
+// series present in only one run are reported explicitly (never silently
+// dropped), and identical inputs render byte-identical reports. A run
+// diffed against itself is exactly zero.
+package diff
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SchemaVersion identifies the report layout for the JSON form.
+const SchemaVersion = 1
+
+// Term is one aligned series of a section: its value in each run and the
+// exact delta. Series missing from one run count as zero on that side and
+// carry an OnlyIn marker, so asymmetric artifacts still reconcile instead
+// of dropping rows.
+type Term struct {
+	Key   string `json:"key"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Delta int64  `json:"delta"`
+	// Permille is the term's signed share of the section's total absolute
+	// delta (the blame weight): delta * 1000 / sum(|delta|) over the
+	// section's terms, truncated toward zero.
+	Permille int64 `json:"permille,omitempty"`
+	// OnlyIn is "a" or "b" when the series exists in one run only.
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// Section is one delta waterfall: a named group of aligned terms plus the
+// totals they must sum to. With TotalKey set, the totals were recorded
+// independently of the terms (e.g. instr/total alongside the per-cell
+// instruction counts), and Reconcile proves the decomposition is complete;
+// without it the totals are defined as the term sums.
+type Section struct {
+	Name string `json:"name"`
+	// Unit names what the terms count ("instructions", "events", "flits",
+	// "allocs/op", "value").
+	Unit  string `json:"unit"`
+	Terms []Term `json:"terms"`
+	// TotalKey names the independently recorded total the terms must sum
+	// to; empty means the totals are sum-defined.
+	TotalKey   string `json:"total_key,omitempty"`
+	TotalA     int64  `json:"total_a"`
+	TotalB     int64  `json:"total_b"`
+	TotalDelta int64  `json:"total_delta"`
+}
+
+// QuantileShift is one histogram-valued series' distribution change:
+// population and quantile movement between the runs. Sum and Max are zero
+// when the source artifact does not record them.
+type QuantileShift struct {
+	Key    string `json:"key"`
+	CountA uint64 `json:"count_a"`
+	CountB uint64 `json:"count_b"`
+	SumA   uint64 `json:"sum_a,omitempty"`
+	SumB   uint64 `json:"sum_b,omitempty"`
+	P50A   uint64 `json:"p50_a"`
+	P50B   uint64 `json:"p50_b"`
+	P90A   uint64 `json:"p90_a"`
+	P90B   uint64 `json:"p90_b"`
+	P99A   uint64 `json:"p99_a"`
+	P99B   uint64 `json:"p99_b"`
+	MaxA   uint64 `json:"max_a,omitempty"`
+	MaxB   uint64 `json:"max_b,omitempty"`
+	// OnlyIn is "a" or "b" when the histogram exists in one run only.
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// Equal reports whether the shift is a no-op (both sides identical).
+func (q *QuantileShift) Equal() bool {
+	return q.OnlyIn == "" && q.CountA == q.CountB && q.SumA == q.SumB &&
+		q.P50A == q.P50B && q.P90A == q.P90B && q.P99A == q.P99B && q.MaxA == q.MaxB
+}
+
+// DigestDelta is one content digest compared across the runs. Digests are
+// identity hashes, not magnitudes — their numeric difference is
+// meaningless — so they are reported as equal/changed rather than as delta
+// terms.
+type DigestDelta struct {
+	Key   string `json:"key"`
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Equal bool   `json:"equal"`
+}
+
+// BlameEntry is one ranked term of the blame list: the section and key
+// responsible for part of the change, with its section-local share.
+type BlameEntry struct {
+	Section  string `json:"section"`
+	Unit     string `json:"unit"`
+	Key      string `json:"key"`
+	Delta    int64  `json:"delta"`
+	Permille int64  `json:"permille"`
+	OnlyIn   string `json:"only_in,omitempty"`
+}
+
+// Report is a full differential attribution between two runs.
+type Report struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	ALabel string `json:"a"`
+	BLabel string `json:"b"`
+	// Notes records comparability caveats (differing words, intervals, …);
+	// the diff still runs — its job is to explain differences, not refuse
+	// them — but the reader is told the runs were not like for like.
+	Notes     []string        `json:"notes,omitempty"`
+	Sections  []Section       `json:"sections,omitempty"`
+	Quantiles []QuantileShift `json:"quantiles,omitempty"`
+	Digests   []DigestDelta   `json:"digests,omitempty"`
+	// OnlyA and OnlyB list whole sub-artifacts (scenarios, sweep points)
+	// present in one run only.
+	OnlyA []string `json:"only_in_a,omitempty"`
+	OnlyB []string `json:"only_in_b,omitempty"`
+}
+
+// newReport seeds the shared header fields.
+func newReport(kind, aLabel, bLabel string) *Report {
+	return &Report{Schema: SchemaVersion, Kind: kind, ALabel: aLabel, BLabel: bLabel}
+}
+
+// notef appends a comparability note.
+func (r *Report) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// sectionBuilder accumulates aligned terms before sealing them into a
+// Section with computed totals and permille shares.
+type sectionBuilder struct {
+	s Section
+}
+
+// newSection starts a sum-defined section.
+func newSection(name, unit string) *sectionBuilder {
+	return &sectionBuilder{s: Section{Name: name, Unit: unit}}
+}
+
+// term adds one aligned series.
+func (b *sectionBuilder) term(key string, a, bv int64, onlyIn string) {
+	b.s.Terms = append(b.s.Terms, Term{Key: key, A: a, B: bv, Delta: bv - a, OnlyIn: onlyIn})
+}
+
+// total pins an independently recorded total (and its key) for the section.
+func (b *sectionBuilder) total(key string, a, bv int64) {
+	b.s.TotalKey = key
+	b.s.TotalA, b.s.TotalB = a, bv
+	b.s.TotalDelta = bv - a
+}
+
+// seal sorts the terms, derives sum-defined totals, computes permille
+// blame shares, and returns the finished section.
+func (b *sectionBuilder) seal() Section {
+	sort.Slice(b.s.Terms, func(i, j int) bool { return b.s.Terms[i].Key < b.s.Terms[j].Key })
+	if b.s.TotalKey == "" {
+		var ta, tb int64
+		for _, t := range b.s.Terms {
+			ta += t.A
+			tb += t.B
+		}
+		b.s.TotalA, b.s.TotalB, b.s.TotalDelta = ta, tb, tb-ta
+	}
+	var absSum int64
+	for _, t := range b.s.Terms {
+		absSum += abs64(t.Delta)
+	}
+	if absSum > 0 {
+		for i := range b.s.Terms {
+			b.s.Terms[i].Permille = b.s.Terms[i].Delta * 1000 / absSum
+		}
+	}
+	return b.s
+}
+
+// addSection seals the builder into the report. Sections with no terms are
+// kept: an empty section still documents that the artifact carried nothing
+// to compare, which is information, not noise.
+func (r *Report) addSection(b *sectionBuilder) {
+	r.Sections = append(r.Sections, b.seal())
+}
+
+// Reconcile audits the report: every section's terms must sum exactly to
+// its total delta on both sides. For sections with an independently
+// recorded total this is a genuine completeness proof (the per-cell deltas
+// account for the whole recorded change); for sum-defined sections it is a
+// self-consistency check of the builder. An error names the failing
+// section.
+func (r *Report) Reconcile() error {
+	for _, s := range r.Sections {
+		var ta, tb int64
+		for _, t := range s.Terms {
+			if t.Delta != t.B-t.A {
+				return fmt.Errorf("diff: section %s: term %s delta %d != b-a %d", s.Name, t.Key, t.Delta, t.B-t.A)
+			}
+			ta += t.A
+			tb += t.B
+		}
+		if s.TotalDelta != s.TotalB-s.TotalA {
+			return fmt.Errorf("diff: section %s: total delta %d != b-a %d", s.Name, s.TotalDelta, s.TotalB-s.TotalA)
+		}
+		if tb-ta != s.TotalDelta {
+			return fmt.Errorf("diff: section %s: terms sum to delta %d, recorded total delta %d (key %q)",
+				s.Name, tb-ta, s.TotalDelta, s.TotalKey)
+		}
+		if s.TotalKey != "" && (ta != s.TotalA || tb != s.TotalB) {
+			return fmt.Errorf("diff: section %s: terms sum to %d/%d, recorded totals %d/%d (key %q)",
+				s.Name, ta, tb, s.TotalA, s.TotalB, s.TotalKey)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the diff is exactly empty: no term moved, no
+// distribution shifted, no digest changed, and nothing was present on one
+// side only. A run diffed against itself is Zero.
+func (r *Report) Zero() bool {
+	if len(r.OnlyA) > 0 || len(r.OnlyB) > 0 {
+		return false
+	}
+	for _, s := range r.Sections {
+		if s.TotalDelta != 0 {
+			return false
+		}
+		for _, t := range s.Terms {
+			if t.Delta != 0 || t.OnlyIn != "" {
+				return false
+			}
+		}
+	}
+	for i := range r.Quantiles {
+		if !r.Quantiles[i].Equal() {
+			return false
+		}
+	}
+	for _, d := range r.Digests {
+		if !d.Equal {
+			return false
+		}
+	}
+	return true
+}
+
+// Terms counts the aligned series across all sections, quantile shifts,
+// and digests — the denominator of "all N series zero".
+func (r *Report) Terms() int {
+	n := len(r.Quantiles) + len(r.Digests)
+	for _, s := range r.Sections {
+		n += len(s.Terms)
+	}
+	return n
+}
+
+// Blame returns the ranked blame list: every moved or asymmetric term
+// across all sections, largest absolute delta first (ties broken by
+// section then key), truncated to n entries (n <= 0 means all). Deltas
+// from different sections count different units; each entry carries its
+// section and unit so the ranking reads as "the biggest single mover in
+// each currency", not as a cross-unit sum.
+func (r *Report) Blame(n int) []BlameEntry {
+	var out []BlameEntry
+	for _, s := range r.Sections {
+		for _, t := range s.Terms {
+			if t.Delta == 0 && t.OnlyIn == "" {
+				continue
+			}
+			out = append(out, BlameEntry{
+				Section: s.Name, Unit: s.Unit, Key: t.Key,
+				Delta: t.Delta, Permille: t.Permille, OnlyIn: t.OnlyIn,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs64(out[i].Delta), abs64(out[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].Section != out[j].Section {
+			return out[i].Section < out[j].Section
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// abs64 is |v| without the float detour.
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,251 @@
+package diff
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report as a human-readable delta waterfall. Only
+// moved or asymmetric series are listed; unchanged series are summarised
+// by count, so a diff between near-identical runs reads in a screenful.
+// The output is fully deterministic (sorted, integer-formatted).
+func WriteText(w io.Writer, r *Report) error {
+	fmt.Fprintf(w, "obsdiff %s: A=%s B=%s\n", r.Kind, r.ALabel, r.BLabel)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, s := range r.OnlyA {
+		fmt.Fprintf(w, "only in A: %s\n", s)
+	}
+	for _, s := range r.OnlyB {
+		fmt.Fprintf(w, "only in B: %s\n", s)
+	}
+	if r.Zero() {
+		fmt.Fprintf(w, "identical: all %d series zero\n", r.Terms())
+		return nil
+	}
+
+	for _, s := range r.Sections {
+		moved := movedTerms(s)
+		if len(moved) == 0 && s.TotalDelta == 0 {
+			fmt.Fprintf(w, "\n== %s ==  no change (%d terms)\n", s.Name, len(s.Terms))
+			continue
+		}
+		fmt.Fprintf(w, "\n== %s (%s) ==\n", s.Name, s.Unit)
+		rows := make([][5]string, 0, len(moved)+1)
+		for _, t := range moved {
+			share := ""
+			if t.Permille != 0 {
+				share = strconv.FormatInt(t.Permille, 10) + "‰"
+			}
+			key := t.Key
+			if t.OnlyIn != "" {
+				key += " [only " + t.OnlyIn + "]"
+			}
+			rows = append(rows, [5]string{
+				key,
+				strconv.FormatInt(t.A, 10),
+				strconv.FormatInt(t.B, 10),
+				signed(t.Delta),
+				share,
+			})
+		}
+		totalName := "total"
+		if s.TotalKey != "" {
+			totalName = "total = " + s.TotalKey
+		}
+		rows = append(rows, [5]string{
+			totalName,
+			strconv.FormatInt(s.TotalA, 10),
+			strconv.FormatInt(s.TotalB, 10),
+			signed(s.TotalDelta),
+			"",
+		})
+		writeAligned(w, rows)
+		if n := len(s.Terms) - len(moved); n > 0 {
+			fmt.Fprintf(w, "  (%d terms unchanged)\n", n)
+		}
+	}
+
+	var quiet int
+	var header bool
+	for i := range r.Quantiles {
+		q := &r.Quantiles[i]
+		if q.Equal() {
+			quiet++
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n== distribution shifts ==\n")
+			header = true
+		}
+		key := q.Key
+		if q.OnlyIn != "" {
+			key += " [only " + q.OnlyIn + "]"
+		}
+		fmt.Fprintf(w, "  %s: count %s  p50 %s  p90 %s  p99 %s",
+			key, shift(q.CountA, q.CountB), shift(q.P50A, q.P50B),
+			shift(q.P90A, q.P90B), shift(q.P99A, q.P99B))
+		if q.MaxA != 0 || q.MaxB != 0 {
+			fmt.Fprintf(w, "  max %s", shift(q.MaxA, q.MaxB))
+		}
+		fmt.Fprintln(w)
+	}
+	if header && quiet > 0 {
+		fmt.Fprintf(w, "  (%d distributions unchanged)\n", quiet)
+	}
+
+	quiet = 0
+	header = false
+	for _, d := range r.Digests {
+		if d.Equal {
+			quiet++
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n== digests ==\n")
+			header = true
+		}
+		fmt.Fprintf(w, "  %s: %s -> %s\n", d.Key, d.A, d.B)
+	}
+	if header && quiet > 0 {
+		fmt.Fprintf(w, "  (%d digests unchanged)\n", quiet)
+	}
+
+	if blame := r.Blame(10); len(blame) > 0 {
+		fmt.Fprintf(w, "\n== top movers ==\n")
+		for i, b := range blame {
+			extra := ""
+			if b.OnlyIn != "" {
+				extra = " [only " + b.OnlyIn + "]"
+			}
+			fmt.Fprintf(w, "  %2d. %s / %s  %s %s (%d‰ of section)%s\n",
+				i+1, b.Section, b.Key, signed(b.Delta), b.Unit, b.Permille, extra)
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the report as flat rows: one row per term, section
+// total, quantile statistic, and digest.
+func WriteCSV(w io.Writer, r *Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "section", "unit", "key", "a", "b", "delta", "permille", "only_in"}); err != nil {
+		return err
+	}
+	row := func(kind, section, unit, key, a, b, delta, permille, onlyIn string) error {
+		return cw.Write([]string{kind, section, unit, key, a, b, delta, permille, onlyIn})
+	}
+	for _, s := range r.Sections {
+		for _, t := range s.Terms {
+			if err := row("term", s.Name, s.Unit, t.Key,
+				strconv.FormatInt(t.A, 10), strconv.FormatInt(t.B, 10),
+				strconv.FormatInt(t.Delta, 10), strconv.FormatInt(t.Permille, 10), t.OnlyIn); err != nil {
+				return err
+			}
+		}
+		totalKey := s.TotalKey
+		if totalKey == "" {
+			totalKey = "(sum)"
+		}
+		if err := row("total", s.Name, s.Unit, totalKey,
+			strconv.FormatInt(s.TotalA, 10), strconv.FormatInt(s.TotalB, 10),
+			strconv.FormatInt(s.TotalDelta, 10), "", ""); err != nil {
+			return err
+		}
+	}
+	for i := range r.Quantiles {
+		q := &r.Quantiles[i]
+		stats := []struct {
+			name string
+			a, b uint64
+		}{
+			{"count", q.CountA, q.CountB}, {"sum", q.SumA, q.SumB},
+			{"p50", q.P50A, q.P50B}, {"p90", q.P90A, q.P90B},
+			{"p99", q.P99A, q.P99B}, {"max", q.MaxA, q.MaxB},
+		}
+		for _, st := range stats {
+			if st.name == "sum" && st.a == 0 && st.b == 0 {
+				continue
+			}
+			if st.name == "max" && st.a == 0 && st.b == 0 {
+				continue
+			}
+			if err := row("quantile", "quantiles", "", q.Key+"/"+st.name,
+				strconv.FormatUint(st.a, 10), strconv.FormatUint(st.b, 10),
+				strconv.FormatInt(int64(st.b)-int64(st.a), 10), "", q.OnlyIn); err != nil {
+				return err
+			}
+		}
+	}
+	for _, d := range r.Digests {
+		delta := "changed"
+		if d.Equal {
+			delta = "equal"
+		}
+		if err := row("digest", "digests", "", d.Key, d.A, d.B, delta, "", ""); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// movedTerms filters a section down to the terms worth listing.
+func movedTerms(s Section) []Term {
+	out := make([]Term, 0, len(s.Terms))
+	for _, t := range s.Terms {
+		if t.Delta != 0 || t.OnlyIn != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// signed renders a delta with an explicit sign, so waterfalls read as
+// additions and removals rather than bare magnitudes.
+func signed(v int64) string {
+	if v >= 0 {
+		return "+" + strconv.FormatInt(v, 10)
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// shift renders "a -> b" or "=v" when unchanged.
+func shift(a, b uint64) string {
+	if a == b {
+		return "=" + strconv.FormatUint(a, 10)
+	}
+	return strconv.FormatUint(a, 10) + "->" + strconv.FormatUint(b, 10)
+}
+
+// writeAligned prints rows with right-aligned numeric columns sized to the
+// content, first column left-aligned.
+func writeAligned(w io.Writer, rows [][5]string) {
+	var width [5]int
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-*s  %*s  %*s  %*s",
+			width[0], r[0], width[1], r[1], width[2], r[2], width[3], r[3])
+		if r[4] != "" {
+			fmt.Fprintf(w, "  %*s", width[4], r[4])
+		}
+		fmt.Fprintln(w)
+	}
+}

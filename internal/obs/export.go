@@ -192,6 +192,16 @@ func jsonKey(k Key, kind string) JSONMetric {
 
 // MetricsJSON renders the registry as a deterministic JSON document.
 func (r *Registry) MetricsJSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Metrics []JSONMetric `json:"metrics"`
+	}{r.JSONMetrics()}, "", "  ")
+}
+
+// JSONMetrics returns the registry's series in their exported form, in the
+// deterministic export order — the in-process equivalent of MetricsJSON,
+// for consumers (the diff engine) that want the series without a
+// marshal/unmarshal round trip.
+func (r *Registry) JSONMetrics() []JSONMetric {
 	var out []JSONMetric
 	for _, k := range sortedKeys(r.counters) {
 		m := jsonKey(k, "counter")
@@ -218,9 +228,7 @@ func (r *Registry) MetricsJSON() ([]byte, error) {
 		}
 		out = append(out, m)
 	}
-	return json.MarshalIndent(struct {
-		Metrics []JSONMetric `json:"metrics"`
-	}{out}, "", "  ")
+	return out
 }
 
 // chromeEvent is one entry of the Chrome trace-event format

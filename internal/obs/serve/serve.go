@@ -9,6 +9,7 @@
 //	/trace          Chrome trace-event JSON of everything recorded so far
 //	/critpath       per-message critical-path latency attribution (text)
 //	/timeline       windowed metrics timeline JSON (when a sampler is attached)
+//	/diff           differential attribution of the live hub vs a baseline
 //	/debug/pprof/   the standard net/http/pprof handlers (host-side profiles)
 //
 // The simulator is single-threaded by design, so the server serializes all
@@ -24,14 +25,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"time"
 
 	"msglayer/internal/critpath"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/diff"
 	"msglayer/internal/obs/timeline"
 )
 
@@ -78,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/critpath", s.handleCritpath)
 	mux.HandleFunc("/timeline", s.handleTimeline)
+	mux.HandleFunc("/diff", s.handleDiff)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -161,6 +166,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /trace          Chrome trace-event JSON (perfetto-loadable)")
 	fmt.Fprintln(w, "  /critpath       per-message critical-path latency attribution (text)")
 	fmt.Fprintln(w, "  /timeline       windowed metrics timeline JSON")
+	fmt.Fprintln(w, "  /diff           live hub vs a baseline artifact (POST body or ?file=)")
 	fmt.Fprintln(w, "  /debug/pprof/   host-side Go profiles")
 }
 
@@ -218,6 +224,110 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	s.render(w, "application/json", func(b *bytes.Buffer) error {
 		return timeline.WriteJSON(b, s.tl.Snapshot())
 	})
+}
+
+// maxBaselineBytes bounds a POSTed baseline artifact; a metrics or timeline
+// export is a few KB to a few MB, so 64 MiB is generous without letting a
+// stray upload exhaust memory.
+const maxBaselineBytes = 64 << 20
+
+// handleDiff answers "where did the time go since this baseline?": it
+// compares a baseline artifact against the live hub with the differential
+// attribution engine and renders the report. The baseline arrives either as
+// the POST body or by reference via ?file=<path>, and may be a metrics
+// export, a /snapshot document (its registry is unwrapped), or a timeline
+// export (diffed against the attached sampler). ?format=json or ?format=csv
+// select the encoding; the default is the text report.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	art, err := s.diffBaseline(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var rep *diff.Report
+	switch art.Kind {
+	case "metrics":
+		s.mu.Lock()
+		live := s.hub.Metrics.JSONMetrics()
+		s.mu.Unlock()
+		rep = diff.CompareMetrics(art.Path, "live", art.Metrics, live)
+	case "timeline":
+		if s.tl == nil {
+			http.Error(w, "no timeline sampler attached", http.StatusNotFound)
+			return
+		}
+		s.mu.Lock()
+		snap := s.tl.Snapshot()
+		s.mu.Unlock()
+		rep = diff.CompareTimelines(art.Path, "live", art.Timeline, snap)
+	default:
+		http.Error(w, fmt.Sprintf("diff baseline must be a metrics export, /snapshot document, or timeline export (got a %s artifact)", art.Kind),
+			http.StatusBadRequest)
+		return
+	}
+	// A diff that does not reconcile is a bug, never a legitimate answer.
+	if err := rep.Reconcile(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	var b bytes.Buffer
+	contentType := "text/plain; charset=utf-8"
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		err = diff.WriteText(&b, rep)
+	case "json":
+		contentType = "application/json"
+		err = diff.WriteJSON(&b, rep)
+	case "csv":
+		contentType = "text/csv; charset=utf-8"
+		err = diff.WriteCSV(&b, rep)
+	default:
+		http.Error(w, "unknown format (want text, json, or csv)", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(b.Bytes())
+}
+
+// diffBaseline reads the baseline artifact for /diff from ?file= or the
+// POST body. File reads and body reads happen outside the hub lock.
+func (s *Server) diffBaseline(r *http.Request) (*diff.Artifact, error) {
+	if file := r.URL.Query().Get("file"); file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return loadBaseline(file, data)
+	}
+	if r.Method == http.MethodPost {
+		data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBaselineBytes))
+		if err != nil {
+			return nil, fmt.Errorf("reading baseline body: %w", err)
+		}
+		if len(data) > 0 {
+			return loadBaseline("<request>", data)
+		}
+	}
+	return nil, errors.New("supply a baseline artifact as the POST body or via ?file=<path>")
+}
+
+// loadBaseline recognises a baseline artifact, unwrapping a /snapshot
+// document down to its registry so a snapshot saved from one run can be
+// diffed against another run directly.
+func loadBaseline(name string, data []byte) (*diff.Artifact, error) {
+	var doc struct {
+		Registry json.RawMessage `json:"registry"`
+	}
+	if err := json.Unmarshal(data, &doc); err == nil && len(doc.Registry) > 0 && string(doc.Registry) != "null" {
+		return diff.LoadArtifactBytes(name, doc.Registry)
+	}
+	return diff.LoadArtifactBytes(name, data)
 }
 
 // handleCritpath renders the live per-message critical-path report: the

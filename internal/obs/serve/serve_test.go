@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -11,11 +12,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/diff"
 	"msglayer/internal/obs/timeline"
 )
 
@@ -181,6 +184,137 @@ func TestObsServeTimelineNoGoroutineLeak(t *testing.T) {
 			t.Fatalf("goroutines leaked: %d before Start, %d after Shutdown", before, runtime.NumGoroutine())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// postDiff POSTs a baseline artifact to /diff and returns (code, body).
+func postDiff(t *testing.T, srv *Server, path string, body []byte) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewReader(body)))
+	return rec.Code, rec.Body.String()
+}
+
+func TestObsServeDiffSelfAndDrift(t *testing.T) {
+	h := fixedHub(t)
+	srv := New(h)
+	baseline := get(t, srv, "/snapshot") // the wrapped form: registry inside
+
+	// The hub has not moved since the snapshot: the diff is exactly zero.
+	code, body := postDiff(t, srv, "/diff", baseline)
+	if code != http.StatusOK {
+		t.Fatalf("POST /diff = %d: %.500s", code, body)
+	}
+	if !strings.Contains(body, "identical: all") {
+		t.Fatalf("self-diff is not zero:\n%s", body)
+	}
+
+	// Mutate the hub under Sync; the diff must attribute the exact delta.
+	c := h.Metrics.Counter(obs.Key{Name: "packets_sent_total", Node: 0, Proto: "cmam"})
+	srv.Sync(func() { c.Add(7) })
+	code, body = postDiff(t, srv, "/diff", baseline)
+	if code != http.StatusOK {
+		t.Fatalf("POST /diff after drift = %d: %.500s", code, body)
+	}
+	for _, want := range []string{"packets_sent_total", "top movers", "B=live"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("drift diff missing %q:\n%s", want, body)
+		}
+	}
+
+	// JSON format parses back into a reconciling metrics report.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/diff?format=json", bytes.NewReader(baseline)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /diff?format=json = %d", rec.Code)
+	}
+	var rep diff.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/diff JSON does not parse: %v", err)
+	}
+	if rep.Kind != "metrics" || rep.Zero() {
+		t.Fatalf("drift report kind=%q zero=%v", rep.Kind, rep.Zero())
+	}
+	if err := rep.Reconcile(); err != nil {
+		t.Fatalf("/diff report does not reconcile: %v", err)
+	}
+
+	// CSV format carries the standard header.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/diff?format=csv", bytes.NewReader(baseline)))
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "kind,section,unit,key,") {
+		t.Fatalf("POST /diff?format=csv = %d: %.200s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestObsServeDiffFileBaseline(t *testing.T) {
+	h := fixedHub(t)
+	srv := New(h)
+	var reg json.RawMessage
+	var err error
+	srv.Sync(func() { reg, err = h.Metrics.MetricsJSON() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := os.WriteFile(path, reg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	body := get(t, srv, "/diff?file="+path)
+	if !strings.Contains(string(body), "identical: all") {
+		t.Fatalf("file-referenced self-diff is not zero:\n%s", body)
+	}
+}
+
+func TestObsServeDiffTimelineBaseline(t *testing.T) {
+	h, s := fixedTimelineHub(t)
+	srv := New(h)
+	srv.SetTimeline(s)
+	baseline := get(t, srv, "/timeline")
+	code, body := postDiff(t, srv, "/diff", baseline)
+	if code != http.StatusOK {
+		t.Fatalf("POST /diff (timeline) = %d: %.500s", code, body)
+	}
+	if !strings.Contains(body, "identical: all") {
+		t.Fatalf("timeline self-diff is not zero:\n%s", body)
+	}
+
+	// Without a sampler attached, a timeline baseline has no live peer.
+	bare := New(fixedHub(t))
+	if code, _ := postDiff(t, bare, "/diff", baseline); code != http.StatusNotFound {
+		t.Fatalf("timeline diff without sampler = %d, want 404", code)
+	}
+}
+
+func TestObsServeDiffErrors(t *testing.T) {
+	srv := New(fixedHub(t))
+	// No baseline at all.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/diff", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /diff with no baseline = %d, want 400", rec.Code)
+	}
+	// Unparseable body.
+	if code, _ := postDiff(t, srv, "/diff", []byte("not json")); code != http.StatusBadRequest {
+		t.Fatalf("garbage baseline = %d, want 400", code)
+	}
+	// Recognised artifact of the wrong kind (a critpath report).
+	critpath := []byte(`{"by_category":{},"critical_path":{"steps":0,"span":0}}`)
+	if code, body := postDiff(t, srv, "/diff", critpath); code != http.StatusBadRequest || !strings.Contains(body, "critpath") {
+		t.Fatalf("critpath baseline = %d: %.200s", code, body)
+	}
+	// Unknown format.
+	baseline := get(t, srv, "/snapshot")
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/diff?format=xml", bytes.NewReader(baseline)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("format=xml = %d, want 400", rec.Code)
+	}
+	// Missing file.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/diff?file=/nonexistent/base.json", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing file = %d, want 400", rec.Code)
 	}
 }
 

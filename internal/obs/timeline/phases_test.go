@@ -1,0 +1,144 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// syntheticTimeline builds a timeline with the given per-window event
+// counts, each window one interval wide.
+func syntheticTimeline(events ...uint64) *Timeline {
+	tl := &Timeline{Schema: SchemaVersion, Interval: 10}
+	for i, e := range events {
+		w := Window{Index: i, Start: uint64(i) * 10, End: uint64(i+1) * 10, Events: e}
+		if e > 0 {
+			w.Breakdown = []BreakdownCell{{Role: "src", Axis: "data transfer", Category: "work", Events: e}}
+		}
+		tl.Windows = append(tl.Windows, w)
+	}
+	return tl
+}
+
+// checkPartition fails unless the phases tile the window range exactly:
+// contiguous, in order, first window 0, last window n-1, events conserved.
+func checkPartition(t *testing.T, tl *Timeline, phases []Phase) {
+	t.Helper()
+	if len(phases) == 0 {
+		t.Fatal("no phases for a non-empty timeline")
+	}
+	if phases[0].FirstWindow != 0 || phases[len(phases)-1].LastWindow != len(tl.Windows)-1 {
+		t.Fatalf("phases do not span the run: first=%d last=%d windows=%d",
+			phases[0].FirstWindow, phases[len(phases)-1].LastWindow, len(tl.Windows))
+	}
+	var events uint64
+	for i, p := range phases {
+		if p.LastWindow < p.FirstWindow {
+			t.Fatalf("phase %d inverted: w%d-w%d", i, p.FirstWindow, p.LastWindow)
+		}
+		if i > 0 && p.FirstWindow != phases[i-1].LastWindow+1 {
+			t.Fatalf("phase %d not contiguous: starts w%d after w%d", i, p.FirstWindow, phases[i-1].LastWindow)
+		}
+		events += p.Events
+	}
+	var want uint64
+	for _, w := range tl.Windows {
+		want += w.Events
+	}
+	if events != want {
+		t.Fatalf("phase events sum to %d, windows hold %d", events, want)
+	}
+}
+
+func TestObsTimelinePhasesEmpty(t *testing.T) {
+	tl := &Timeline{Schema: SchemaVersion, Interval: 10}
+	if phases := tl.Phases(); phases != nil {
+		t.Fatalf("empty timeline yields %d phases, want none", len(phases))
+	}
+	// The report renderer degrades to empty output, not a panic.
+	var b strings.Builder
+	WritePhaseReport(&b, "  ", tl)
+	if b.Len() != 0 {
+		t.Fatalf("empty timeline report: %q", b.String())
+	}
+}
+
+func TestObsTimelinePhasesSingleWindow(t *testing.T) {
+	// One active window: its class is mid vs its own median, so the run is
+	// a single steady phase covering everything.
+	tl := syntheticTimeline(42)
+	phases := tl.Phases()
+	checkPartition(t, tl, phases)
+	if len(phases) != 1 || phases[0].Kind != PhaseSteady || phases[0].Events != 42 {
+		t.Fatalf("single window phases = %+v", phases)
+	}
+	if len(phases[0].Breakdown) != 1 || phases[0].Breakdown[0].Events != 42 {
+		t.Fatalf("single window breakdown = %+v", phases[0].Breakdown)
+	}
+}
+
+func TestObsTimelinePhasesAllIdle(t *testing.T) {
+	// Every window idle: no nonzero rate exists, every window classes low,
+	// and the whole run folds into one steady phase with zero events.
+	tl := syntheticTimeline(0, 0, 0, 0)
+	phases := tl.Phases()
+	checkPartition(t, tl, phases)
+	if len(phases) != 1 || phases[0].Kind != PhaseSteady || phases[0].Events != 0 {
+		t.Fatalf("all-idle phases = %+v", phases)
+	}
+	if phases[0].Start != 0 || phases[0].End != 40 {
+		t.Fatalf("all-idle phase range = %d-%d, want 0-40", phases[0].Start, phases[0].End)
+	}
+	// The report renders the zero share without dividing by zero.
+	var b strings.Builder
+	WritePhaseReport(&b, "", tl)
+	if !strings.Contains(b.String(), "events 0 (0‰ of run)") {
+		t.Fatalf("all-idle report:\n%s", b.String())
+	}
+}
+
+func TestObsTimelinePhasesNeverLeavesWarmup(t *testing.T) {
+	// Activity so skewed that most windows sit under half the median of a
+	// single spike would still classify; here every window is equally low
+	// relative to nothing — a run whose rate never rises above the low
+	// threshold (trailing zeros after one tiny window) must not produce a
+	// warmup-only segmentation with no steady regime.
+	tl := syntheticTimeline(1, 0, 0, 0, 0, 0)
+	phases := tl.Phases()
+	checkPartition(t, tl, phases)
+	// Median nonzero activity is 1; the active window is mid, the idle tail
+	// is low, so the run is steady then drain — never a phase list that
+	// stays in warmup forever.
+	for _, p := range phases {
+		if p.Kind == PhaseWarmup {
+			t.Fatalf("run with no ramp reported a warmup phase: %+v", phases)
+		}
+	}
+	if phases[len(phases)-1].Kind != PhaseDrain {
+		t.Fatalf("idle tail not classified as drain: %+v", phases)
+	}
+}
+
+func TestObsTimelinePhasesUniformRate(t *testing.T) {
+	// A perfectly flat run: every window equals the median, nothing is low
+	// or high, one steady phase.
+	tl := syntheticTimeline(10, 10, 10, 10, 10)
+	phases := tl.Phases()
+	checkPartition(t, tl, phases)
+	if len(phases) != 1 || phases[0].Kind != PhaseSteady {
+		t.Fatalf("uniform run phases = %+v", phases)
+	}
+}
+
+func TestObsTimelinePhasesFullShape(t *testing.T) {
+	// Canonical shape: low ramp, steady body, burst excursion, low tail.
+	tl := syntheticTimeline(1, 1, 10, 10, 50, 10, 1)
+	phases := tl.Phases()
+	checkPartition(t, tl, phases)
+	var kinds []string
+	for _, p := range phases {
+		kinds = append(kinds, p.Kind.String())
+	}
+	if got := strings.Join(kinds, ","); got != "warmup,steady,burst,steady,drain" {
+		t.Fatalf("phase kinds = %s", got)
+	}
+}

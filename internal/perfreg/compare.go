@@ -40,30 +40,44 @@ func (o *CompareOptions) defaults() {
 
 // Delta is one compared metric.
 type Delta struct {
-	Scenario string
-	Metric   string
+	Scenario string `json:"scenario"`
+	Metric   string `json:"metric"`
 	// Kind is "sim" (deterministic, exact-equality gate) or "host"
 	// (noisy, statistical gate).
-	Kind     string
-	Old, New float64
+	Kind string  `json:"kind"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
 	// OldCI and NewCI are confidence-interval half-widths (host only).
-	OldCI, NewCI float64
+	OldCI float64 `json:"old_ci,omitempty"`
+	NewCI float64 `json:"new_ci,omitempty"`
 	// Frac is the fractional change (New-Old)/Old.
-	Frac float64
+	Frac float64 `json:"frac,omitempty"`
 	// P is the Welch two-sided p-value (host only; 1 when untestable).
-	P  float64
-	OK bool
+	P  float64 `json:"p,omitempty"`
+	OK bool    `json:"ok"`
 	// Note explains the verdict ("exact", "~ p=0.41", "REGRESSION +23%").
-	Note string
+	Note string `json:"note"`
 }
 
 // Report is a full snapshot comparison.
 type Report struct {
-	Deltas []Delta
+	Deltas []Delta `json:"deltas"`
 	// Pass is false if any delta failed its gate.
-	Pass bool
+	Pass bool `json:"pass"`
 	// SimChecked and SimEqual count the exact-equality comparisons.
-	SimChecked, SimEqual int
+	SimChecked int `json:"sim_checked"`
+	SimEqual   int `json:"sim_equal"`
+}
+
+// Failing returns the deltas that failed their gate, in report order.
+func (r *Report) Failing() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if !d.OK {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Compare gates a new snapshot against an old one. Sim metrics must match

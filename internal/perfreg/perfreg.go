@@ -501,13 +501,23 @@ func ReadFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	var s Snapshot
-	if err := json.Unmarshal(data, &s); err != nil {
+	s, err := Parse(data)
+	if err != nil {
 		return nil, fmt.Errorf("perfreg: %s: %w", path, err)
 	}
+	return s, nil
+}
+
+// Parse decodes a snapshot from raw JSON, rejecting unknown schema
+// versions.
+func Parse(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
 	if s.Schema < minSchemaVersion || s.Schema > SchemaVersion {
-		return nil, fmt.Errorf("perfreg: %s: schema %d, this build reads %d through %d",
-			path, s.Schema, minSchemaVersion, SchemaVersion)
+		return nil, fmt.Errorf("schema %d, this build reads %d through %d",
+			s.Schema, minSchemaVersion, SchemaVersion)
 	}
 	return &s, nil
 }

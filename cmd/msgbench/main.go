@@ -33,6 +33,7 @@ import (
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/serve"
 	"msglayer/internal/obs/timeline"
+	"msglayer/internal/parsweep"
 )
 
 func main() {
@@ -70,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ablations := fs.Bool("ablations", false, "run the ablation experiments")
 	parallel := fs.Int("parallel", 0,
 		"worker goroutines for the full experiment run (0 = GOMAXPROCS, 1 = serial; forced serial when an observer is attached)")
+	shardsFlag := fs.Int("shards", 0,
+		"engine shards for the flit-level experiments (0 = auto: GOMAXPROCS split across the -parallel workers, which take precedence; 1 = serial engine; results are byte-identical at any value)")
 	quiet := fs.Bool("quiet", false, "print only the comparison summary")
 	asJSON := fs.Bool("json", false, "print a machine-readable JSON summary instead of text")
 	metrics := fs.String("metrics", "", "dump runtime metrics to a file after the runs (\"-\" = stdout)")
@@ -88,6 +91,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "msgbench: -timeline-interval must be >= 1")
 		return 1
 	}
+	// Engine shards for the flit-level experiments: the worker fan-out
+	// (barrier-free, whole experiments at a time) takes precedence, and the
+	// product of workers and shards stays within GOMAXPROCS. Results are
+	// byte-identical at any shard count.
+	experiments.SetFlitShards(parsweep.Shards(*shardsFlag, parsweep.Workers(*parallel)))
+	defer experiments.SetFlitShards(0)
 
 	var hub *obs.Hub
 	if *metrics != "" || *traceOut != "" || *critpathOut != "" || *serveAddr != "" || *timelineOut != "" {

@@ -40,6 +40,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timelineOut := fs.String("timeline-out", "",
 		"sample the figure runs' metrics into windowed deltas on the machine-round clock and write the timeline (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON)")
 	timelineInterval := fs.Int("timeline-interval", 16, "timeline window width in machine rounds")
+	shardsFlag := fs.Int("shards", 0,
+		"accepted for flag uniformity with the flit-level tools; the figure machines run on the word-level network, which has no sharded engine, so this flag has no effect")
+	_ = shardsFlag
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

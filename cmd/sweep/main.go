@@ -52,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	ooo := fs.Float64("ooo", 0.5, "fraction of packets arriving out of order (indefinite protocols)")
 	ackGroup := fs.Int("ackgroup", 1, "acknowledgement group size (indefinite CMAM)")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
+	shardsFlag := fs.Int("shards", 0,
+		"accepted for flag uniformity with the flit-level tools; the sweep's protocol points run on the word-level network, which has no sharded engine, so this flag has no effect")
+	_ = shardsFlag
 	csv := fs.Bool("csv", false, "emit CSV")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")

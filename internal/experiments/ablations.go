@@ -304,7 +304,9 @@ func FlitLevelDemo() (Result, error) {
 			Topology:    topology.MustFatTree(4, 2),
 			Mode:        mode,
 			BufferFlits: 3,
+			Shards:      flitShards,
 		})
+		defer n.Close()
 		for seq := 0; seq < perFlow; seq++ {
 			for _, fl := range flows {
 				p := network.Packet{Src: fl[0], Dst: fl[1],
@@ -487,7 +489,9 @@ func RoutingTradeoffAblation() (Result, error) {
 			Mode:        mode,
 			BufferFlits: 3,
 			InjectQueue: 4096,
+			Shards:      flitShards,
 		})
+		defer net.Close()
 		sched, err := cost.NewPaperSchedule(net.PacketWords())
 		if err != nil {
 			return 0, 0, 0, 0, err

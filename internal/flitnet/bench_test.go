@@ -177,6 +177,69 @@ func BenchmarkTickSparse(b *testing.B) {
 	}
 }
 
+// benchTickLarge measures one simulator cycle of a 1024-router mesh under
+// heavy bisection traffic (every node sending to its mirror) at the given
+// shard count. Shards=1 is the serial engine; the sharded variants must
+// produce byte-identical results, so the only thing the shard count can
+// change is the wall clock. The topology is sized so per-cycle route work
+// dominates the barrier cost — the regime the sharded engine targets.
+// Re-seeding when the network drains happens outside the timer.
+func benchTickLarge(b *testing.B, shards int) {
+	n := MustNew(Config{
+		Topology:    topology.MustMesh(32, 32),
+		Mode:        Deterministic,
+		PacketWords: 8,
+		Shards:      shards,
+	})
+	defer n.Close()
+	payload := make([]network.Word, 6)
+	reseed := func() {
+		for node := 0; node < 1024; node++ {
+			for {
+				if _, ok := n.TryRecv(node); !ok {
+					break
+				}
+			}
+		}
+		for src := 0; src < 1024; src++ {
+			if err := n.Inject(network.Packet{Src: src, Dst: 1023 - src, Data: payload}); err != nil {
+				b.Fatal(err)
+			}
+			if err := n.Inject(network.Packet{Src: src, Dst: (src + 512) % 1024, Data: payload}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reseed()
+	for i := 0; i < 2000; i++ {
+		if n.quiet() {
+			reseed()
+		}
+		n.tickOnce()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.quiet() {
+			b.StopTimer()
+			reseed()
+			b.StartTimer()
+		}
+		n.tickOnce()
+	}
+}
+
+// BenchmarkTickLarge is the serial baseline of the sharded scaling curve.
+func BenchmarkTickLarge(b *testing.B) { benchTickLarge(b, 1) }
+
+// BenchmarkTickSharded2/4/8 are the same workload on 2, 4, and 8 shards.
+// The perfreg gate compares flitnet-tick-large against the 4-shard twin
+// within one snapshot and requires a 2x speedup on machines with at least
+// four processors.
+func BenchmarkTickSharded2(b *testing.B) { benchTickLarge(b, 2) }
+func BenchmarkTickSharded4(b *testing.B) { benchTickLarge(b, 4) }
+func BenchmarkTickSharded8(b *testing.B) { benchTickLarge(b, 8) }
+
 // BenchmarkWormEndToEnd measures one packet's full flit-level journey.
 func BenchmarkWormEndToEnd(b *testing.B) {
 	n := MustNew(Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic})

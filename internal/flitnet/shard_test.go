@@ -1,0 +1,379 @@
+package flitnet
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"msglayer/internal/network"
+	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
+	"msglayer/internal/topology"
+)
+
+// The sharded engine's contract is the same one the event-driven engine
+// holds against the dense reference: byte-identical results at any shard
+// count. These tests drive the seeded diff workload across shard counts
+// {1, 2, 3, GOMAXPROCS} (plus 4, so a single-core machine still exercises
+// a multi-worker barrier) and both serial engines, comparing every
+// observable artifact: Stats, per-node delivery order, cycle counts, idle
+// fast-forward accounting, rendered metrics, traces, and timelines.
+
+// shardCounts returns the shard counts under test, deduplicated.
+func shardCounts() []int {
+	counts := []int{2, 3, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{1: true}
+	out := []int{}
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestShardedSerialEquivalence is the differential property test for the
+// sharded engine: the same seeded workload grid through the serial oracle
+// and every shard count must produce byte-identical Stats, delivery order,
+// and cycle counts.
+func TestShardedSerialEquivalence(t *testing.T) {
+	grid := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mesh-det-vc1", Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic}},
+		{"mesh-det-vc2", Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic, VirtualChannels: 2}},
+		{"mesh-adaptive-vc1", Config{Topology: topology.MustMesh(4, 4), Mode: Adaptive}},
+		{"mesh-adaptive-vc3", Config{Topology: topology.MustMesh(4, 4), Mode: Adaptive, VirtualChannels: 3}},
+		{"mesh-tight-buffers", Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic, BufferFlits: 2}},
+		{"fattree-adaptive-vc2", Config{Topology: topology.MustFatTree(4, 2), Mode: Adaptive, VirtualChannels: 2}},
+		{"fattree-det", Config{Topology: topology.MustFatTree(4, 2), Mode: Deterministic}},
+	}
+	for _, g := range grid {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", g.name, seed), func(t *testing.T) {
+				refTr, refStats, refCycle := runDiffWorkload(t, g.cfg, seed, 120, 5)
+				dense := g.cfg
+				dense.DenseReference = true
+				variants := []struct {
+					name string
+					cfg  Config
+				}{{"dense", dense}}
+				for _, k := range shardCounts() {
+					sharded := g.cfg
+					sharded.Shards = k
+					variants = append(variants, struct {
+						name string
+						cfg  Config
+					}{fmt.Sprintf("shards%d", k), sharded})
+				}
+				for _, v := range variants {
+					tr, stats, cycle := runDiffWorkload(t, v.cfg, seed, 120, 5)
+					if stats != refStats {
+						t.Errorf("%s: stats diverge:\n serial %+v\n %s %+v", v.name, refStats, v.name, stats)
+					}
+					if cycle != refCycle {
+						t.Errorf("%s: cycle diverges: serial=%d got=%d", v.name, refCycle, cycle)
+					}
+					if len(tr) != len(refTr) {
+						t.Fatalf("%s: transcript length diverges: serial=%d got=%d", v.name, len(refTr), len(tr))
+					}
+					for i := range refTr {
+						if refTr[i] != tr[i] {
+							t.Fatalf("%s: transcript diverges at %d:\n serial %s\n got    %s", v.name, i, refTr[i], tr[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedHotspotEquivalence drives heavy cross-shard contention — every
+// node hammering a small destination region, so worms block on lanes owned
+// by other shards and the route rounds park and resume — and requires exact
+// equivalence with the serial engine.
+func TestShardedHotspotEquivalence(t *testing.T) {
+	for _, mode := range []Mode{Deterministic, Adaptive} {
+		for _, vcs := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s-vc%d", mode, vcs), func(t *testing.T) {
+				run := func(shards int) (Stats, uint64, []string) {
+					n := MustNew(Config{
+						Topology: topology.MustMesh(6, 6), Mode: mode,
+						VirtualChannels: vcs, BufferFlits: 2, InjectQueue: 8, Shards: shards,
+					})
+					defer n.Close()
+					var transcript []string
+					rng := diffRNG(99)
+					for round := 0; round < 40; round++ {
+						for src := 0; src < n.Nodes(); src++ {
+							dst := rng.intn(3) // hotspot corner
+							if src == dst {
+								continue
+							}
+							if err := n.Inject(network.Packet{Src: src, Dst: dst, Data: []network.Word{network.Word(round)}}); err != nil {
+								transcript = append(transcript, fmt.Sprintf("bp src=%d round=%d", src, round))
+							}
+						}
+						n.Tick(1 + rng.intn(4))
+						for node := 0; node < n.Nodes(); node++ {
+							for {
+								p, ok := n.TryRecv(node)
+								if !ok {
+									break
+								}
+								transcript = append(transcript, fmt.Sprintf("node=%d src=%d data=%v", node, p.Src, p.Data))
+							}
+						}
+					}
+					if !n.TickUntilQuiet(1_000_000) {
+						t.Fatalf("hotspot workload did not drain: pending=%d", n.Pending())
+					}
+					return n.FlitStats(), n.Cycle(), transcript
+				}
+				refStats, refCycle, refTr := run(1)
+				for _, k := range shardCounts() {
+					stats, cycle, tr := run(k)
+					if stats != refStats || cycle != refCycle {
+						t.Errorf("shards=%d: stats/cycle diverge:\n serial %+v cycle=%d\n sharded %+v cycle=%d",
+							k, refStats, refCycle, stats, cycle)
+					}
+					if len(tr) != len(refTr) {
+						t.Fatalf("shards=%d: transcript length diverges: %d vs %d", k, len(refTr), len(tr))
+					}
+					for i := range refTr {
+						if refTr[i] != tr[i] {
+							t.Fatalf("shards=%d: transcript diverges at %d:\n %s\n %s", k, i, refTr[i], tr[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// runShardObsWorkload drives one net through the seeded workload with a
+// full observer attached and renders every artifact: Prometheus metrics,
+// Chrome trace JSON, and the windowed timeline.
+func runShardObsWorkload(t *testing.T, cfg Config, seed uint64) (metrics, traceJSON, timelineJSON string) {
+	t.Helper()
+	n := MustNew(cfg)
+	defer n.Close()
+	hub := obs.NewHub()
+	n.SetFlitObserver(hub.FlitScope())
+	s := timeline.New(hub.Metrics, timeline.Config{Interval: 32})
+	n.SetCycleListener(s.Advance)
+
+	nodes := n.Nodes()
+	rng := diffRNG(seed)
+	injected := 0
+	for injected < 120 {
+		for b := 0; b < 5 && injected < 120; b++ {
+			src := rng.intn(nodes)
+			dst := rng.intn(nodes)
+			if src == dst {
+				dst = (dst + 1) % nodes
+			}
+			words := rng.intn(n.PacketWords() + 1)
+			data := make([]network.Word, words)
+			for i := range data {
+				data[i] = network.Word(rng.next())
+			}
+			_ = n.Inject(network.Packet{Src: src, Dst: dst, Data: data})
+			injected++
+		}
+		switch rng.intn(3) {
+		case 0:
+			n.Tick(1 + rng.intn(7))
+		case 1:
+			n.Tick(64)
+		default:
+			n.TickUntilQuiet(4096)
+		}
+		for node := 0; node < nodes; node++ {
+			for {
+				if _, ok := n.TryRecv(node); !ok {
+					break
+				}
+			}
+		}
+	}
+	if !n.TickUntilQuiet(1_000_000) {
+		t.Fatalf("workload did not drain: pending=%d", n.Pending())
+	}
+	s.Flush(n.Cycle())
+	if err := s.Reconcile(); err != nil {
+		t.Fatalf("timeline does not reconcile: %v", err)
+	}
+	var m, tr, tl bytes.Buffer
+	if err := hub.Metrics.WritePrometheus(&m); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := hub.Trace.WriteChromeTrace(&tr); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := timeline.WriteJSON(&tl, s.Snapshot()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return m.String(), tr.String(), tl.String()
+}
+
+// TestShardedObsEquivalence extends the byte-identity contract to the
+// observability artifacts: metrics, traces (span ids included — the
+// replay's emission order must equal the serial engine's), and timeline
+// digests must render byte-identically at every shard count.
+func TestShardedObsEquivalence(t *testing.T) {
+	grid := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mesh-det-vc2", Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic, VirtualChannels: 2}},
+		{"mesh-adaptive-vc3", Config{Topology: topology.MustMesh(4, 4), Mode: Adaptive, VirtualChannels: 3}},
+		{"fattree-adaptive", Config{Topology: topology.MustFatTree(4, 2), Mode: Adaptive, VirtualChannels: 2}},
+	}
+	for _, g := range grid {
+		for seed := uint64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", g.name, seed), func(t *testing.T) {
+				refM, refT, refTL := runShardObsWorkload(t, g.cfg, seed)
+				for _, k := range shardCounts() {
+					sharded := g.cfg
+					sharded.Shards = k
+					m, tr, tl := runShardObsWorkload(t, sharded, seed)
+					if m != refM {
+						t.Errorf("shards=%d: metrics diverge (%d vs %d bytes)", k, len(refM), len(m))
+					}
+					if tr != refT {
+						t.Errorf("shards=%d: traces diverge (%d vs %d bytes)", k, len(refT), len(tr))
+					}
+					if tl != refTL {
+						t.Errorf("shards=%d: timelines diverge (%d vs %d bytes)", k, len(refTL), len(tl))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedIdleFastForward pins the sharded barrier's idle fast-forward:
+// a drained sharded net jumps over idle stretches exactly like the serial
+// engine, and the skipped cycles are accounted identically.
+func TestShardedIdleFastForward(t *testing.T) {
+	run := func(shards int) (Stats, uint64, uint64) {
+		n := MustNew(Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic, Shards: shards})
+		defer n.Close()
+		if err := n.Inject(network.Packet{Src: 0, Dst: 15, Data: []network.Word{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		n.Tick(10_000) // mostly idle once the worm lands
+		if _, ok := n.TryRecv(15); !ok {
+			t.Fatal("packet not delivered")
+		}
+		return n.FlitStats(), n.Cycle(), n.IdleSkipped()
+	}
+	refStats, refCycle, refSkipped := run(1)
+	if refSkipped == 0 {
+		t.Fatal("workload never exercised the idle fast-forward")
+	}
+	for _, k := range shardCounts() {
+		stats, cycle, skipped := run(k)
+		if stats != refStats || cycle != refCycle || skipped != refSkipped {
+			t.Errorf("shards=%d: fast-forward diverges: serial (cycle=%d skipped=%d), sharded (cycle=%d skipped=%d)",
+				k, refCycle, refSkipped, cycle, skipped)
+		}
+	}
+}
+
+// TestShardClamps pins the serial fallbacks: shard counts clamp to the
+// router count, and CR mode, the dense reference, and installed acceptors
+// force the serial engine.
+func TestShardClamps(t *testing.T) {
+	mesh := func() topology.Topology { return topology.MustMesh(2, 2) }
+	if n := MustNew(Config{Topology: mesh(), Shards: 64}); n.Shards() != 4 {
+		t.Errorf("shards should clamp to the router count: got %d, want 4", n.Shards())
+	}
+	if n := MustNew(Config{Topology: mesh(), Mode: CR, Shards: 4}); n.Shards() != 1 {
+		t.Errorf("CR must run serial: got %d shards", n.Shards())
+	}
+	if n := MustNew(Config{Topology: mesh(), DenseReference: true, Shards: 4}); n.Shards() != 1 {
+		t.Errorf("dense reference must run serial: got %d shards", n.Shards())
+	}
+	if _, err := New(Config{Topology: mesh(), Shards: -1}); err == nil {
+		t.Error("negative shard count should be rejected")
+	}
+	n := MustNew(Config{Topology: mesh(), Shards: 2})
+	if n.Shards() != 2 {
+		t.Fatalf("got %d shards, want 2", n.Shards())
+	}
+	if err := n.SetAcceptor(0, func(network.Packet) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Shards() != 1 {
+		t.Errorf("installing an acceptor must migrate to the serial engine: got %d shards", n.Shards())
+	}
+}
+
+// TestShardedAcceptorMigration injects traffic into a sharded net, then
+// installs an acceptor mid-run: the migrated net must finish with exactly
+// the serial engine's results, pending worklists and wake state included.
+func TestShardedAcceptorMigration(t *testing.T) {
+	run := func(shards int) (Stats, uint64, []string) {
+		n := MustNew(Config{Topology: topology.MustMesh(4, 4), Mode: Deterministic, Shards: shards})
+		defer n.Close()
+		rng := diffRNG(17)
+		for i := 0; i < 30; i++ {
+			src, dst := rng.intn(16), rng.intn(16)
+			if src == dst {
+				continue
+			}
+			_ = n.Inject(network.Packet{Src: src, Dst: dst, Data: []network.Word{network.Word(i)}})
+			if i%7 == 0 {
+				n.Tick(2)
+			}
+		}
+		// Mid-run migration: flits are buffered, flows are pending.
+		if err := n.SetAcceptor(0, func(network.Packet) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+		if n.Shards() != 1 {
+			t.Fatalf("got %d shards after SetAcceptor, want 1", n.Shards())
+		}
+		for i := 30; i < 60; i++ {
+			src, dst := rng.intn(16), rng.intn(16)
+			if src == dst {
+				continue
+			}
+			_ = n.Inject(network.Packet{Src: src, Dst: dst, Data: []network.Word{network.Word(i)}})
+		}
+		if !n.TickUntilQuiet(1_000_000) {
+			t.Fatal("did not drain")
+		}
+		var got []string
+		for node := 0; node < 16; node++ {
+			for {
+				p, ok := n.TryRecv(node)
+				if !ok {
+					break
+				}
+				got = append(got, fmt.Sprintf("node=%d src=%d data=%v", node, p.Src, p.Data))
+			}
+		}
+		return n.FlitStats(), n.Cycle(), got
+	}
+	refStats, refCycle, refTr := run(1)
+	for _, k := range shardCounts() {
+		stats, cycle, tr := run(k)
+		if stats != refStats || cycle != refCycle {
+			t.Errorf("shards=%d: migration diverges:\n serial %+v cycle=%d\n sharded %+v cycle=%d", k, refStats, refCycle, stats, cycle)
+		}
+		if len(tr) != len(refTr) {
+			t.Fatalf("shards=%d: transcript length diverges", k)
+		}
+		for i := range refTr {
+			if refTr[i] != tr[i] {
+				t.Fatalf("shards=%d: transcript diverges at %d:\n %s\n %s", k, i, refTr[i], tr[i])
+			}
+		}
+	}
+}

@@ -42,7 +42,11 @@ import (
 )
 
 // SchemaVersion identifies the snapshot layout; bump on incompatible
-// changes. Version 4 added the timeline digests (per-scenario windowed
+// changes. Version 5 added the GOMAXPROCS stamp and the sharded-engine
+// scaling benchmarks (the large-mesh tick serial and at four shards,
+// recorded in the same run so the parallel speedup gates within one
+// snapshot — and only on machines with enough processors to mean it).
+// Version 4 added the timeline digests (per-scenario windowed
 // metrics timelines hashed into sim keys, so any PR that shifts *when*
 // events happen fails the exact-equality gate even if the totals agree)
 // and the timeline-sample allocation benchmark. Version 3 added the
@@ -51,7 +55,7 @@ import (
 // speedup gates within one snapshot). Version 2 added the parallelism
 // stamp and the allocation benchmark section. Older snapshots still load:
 // the new sections are simply absent, and absent sections are not gated.
-const SchemaVersion = 4
+const SchemaVersion = 5
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -78,7 +82,13 @@ type Snapshot struct {
 	// Parallel is the worker count the timed repetitions ran under; host
 	// metrics only gate between snapshots recorded at the same count.
 	// Absent (schema 1) means serial.
-	Parallel  int              `json:"parallel,omitempty"`
+	Parallel int `json:"parallel,omitempty"`
+	// MaxProcs is the GOMAXPROCS the snapshot was recorded under. The
+	// sharded-engine speedup only gates when the recording machine had at
+	// least four processors; on smaller machines the shards time-slice one
+	// core and the ratio measures nothing. Absent (schema < 5) means
+	// unknown.
+	MaxProcs  int              `json:"max_procs,omitempty"`
 	Scenarios []ScenarioResult `json:"scenarios"`
 	// Benches holds the allocation benchmarks (schema 2); allocs/op gates
 	// at no-regression.
@@ -163,6 +173,7 @@ func Record(cfg RecordConfig) (*Snapshot, error) {
 		Words:         cfg.Words,
 		NetloadCycles: cfg.NetloadCycles,
 		Parallel:      workers,
+		MaxProcs:      runtime.GOMAXPROCS(0),
 	}
 	for _, name := range experiments.CanonicalScenarios() {
 		res, err := recordProtocolScenario(name, cfg.Words, cfg.Reps, workers)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"msglayer/internal/obs/diff"
+	"msglayer/internal/parsweep"
 	"msglayer/internal/perfreg"
 )
 
@@ -68,6 +69,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if err := parsweep.ValidatePositiveFlags(fs, "parallel"); err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
 	}
 
 	switch {

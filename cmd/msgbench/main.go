@@ -87,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := parsweep.ValidatePositiveFlags(fs, "parallel", "shards"); err != nil {
+		fmt.Fprintln(stderr, "msgbench:", err)
+		return 1
+	}
 	if *timelineInterval < 1 {
 		fmt.Fprintln(stderr, "msgbench: -timeline-interval must be >= 1")
 		return 1

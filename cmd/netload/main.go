@@ -47,6 +47,7 @@ import (
 	"msglayer/internal/prof"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
+	"msglayer/internal/twin"
 	"msglayer/internal/workload"
 )
 
@@ -86,6 +87,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	timelineOut := fs.String("timeline-out", "",
 		"sample every point's metrics into simulated-cycle windows and write the timelines (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON); adds a per-phase analysis to the text report")
 	timelineInterval := fs.Int("timeline-interval", 100, "timeline window width in simulated cycles")
+	twinCols := fs.Bool("twin", false,
+		"append the analytic twin's closed-form predicted latency and its error vs the measured value per mode (twin-lat and twin-err% columns; the twin is calibrated on uniform traffic)")
 	baselineOut := fs.String("baseline", "",
 		"emit the paper's baseline-vs-CR comparison (Figure 6) as an obsdiff report: per-load deterministic-routing points diffed against their CR points, link by link (\"-\" = stdout; .json/.csv suffixes select the format, otherwise text)")
 	fs.Usage = func() {
@@ -94,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if err := parsweep.ValidatePositiveFlags(fs, "parallel", "shards"); err != nil {
+		fmt.Fprintln(stderr, "netload:", err)
+		return 1
 	}
 
 	loads, err := parseLoads(*loadsArg)
@@ -161,6 +168,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	var names []string
 	for _, m := range modes {
 		names = append(names, m.String()+" thru", m.String()+" lat")
+		if *twinCols {
+			names = append(names, m.String()+" twin-lat", m.String()+" twin-err%")
+		}
+	}
+	// twinRegime maps a routing mode onto the twin's regime key for the
+	// configured topology shape; evaluated per report row under -twin.
+	twinRegime := func(mode flitnet.Mode) twin.Regime {
+		r := twin.Regime{Topology: *topoArg, Mode: mode, VCs: *vcs}
+		if *topoArg == "mesh" {
+			r.A, r.B = *w, *h
+		} else {
+			r.A, r.B = *k, *levels
+		}
+		return r
 	}
 
 	var hub *obs.Hub
@@ -280,6 +301,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}
 			idleTotal += res.idle
 			values = append(values, res.thru, res.lat)
+			if *twinCols {
+				pred, err := (twin.NetPoint{Regime: twinRegime(mode), Load: load, Cycles: *cycles}).PredictNet()
+				if err != nil {
+					fmt.Fprintln(stderr, "netload: twin:", err)
+					return 1
+				}
+				errPct := 0.0
+				if res.lat != 0 {
+					errPct = (pred.MeanLatency - res.lat) / res.lat * 100
+				}
+				values = append(values, pred.MeanLatency, errPct)
+			}
 		}
 		points = append(points, report.SeriesPoint{
 			X:      int(load * 1000), // permille for the integer axis

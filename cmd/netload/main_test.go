@@ -130,7 +130,8 @@ func TestRunShardedMatchesSerial(t *testing.T) {
 		{"-shards", "2", "-parallel", "1"},
 		{"-shards", "3", "-parallel", "1"},
 		{"-shards", "2", "-parallel", "4"},
-		{"-shards", "0", "-parallel", "2"},
+		// No -shards: the unset flag auto-sizes (explicit 0 is now an error).
+		{"-parallel", "2"},
 	} {
 		got := [5]string{}
 		got[0], got[1], got[2], got[3], got[4] = runWith(variant...)

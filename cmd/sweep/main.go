@@ -25,6 +25,7 @@ import (
 
 	"msglayer/internal/analytic"
 	"msglayer/internal/cost"
+	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
 	"msglayer/internal/parsweep"
 	"msglayer/internal/prof"
@@ -54,7 +55,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallel := fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	shardsFlag := fs.Int("shards", 0,
 		"accepted for flag uniformity with the flit-level tools; the sweep's protocol points run on the word-level network, which has no sharded engine, so this flag has no effect")
-	_ = shardsFlag
+	_ = shardsFlag // validated and reported, never consumed: no sharded engine here
+	twinCol := fs.Bool("twin", false,
+		"run each point on the real simulator too and append sim-total and twin-err% columns (predicted vs measured; requires -ooo 0.5, the stream substrate's actual reorder fraction)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
@@ -62,6 +65,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	traceOut := fs.String("trace-out", "", "dump a Chrome trace-event JSON, one span per sweep point (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if err := parsweep.ValidatePositiveFlags(fs, "parallel", "shards"); err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
+	if *twinCol && *ooo != 0.5 {
+		fmt.Fprintln(stderr, "sweep: -twin compares against the simulator, whose stream substrate delivers exactly half the packets out of order; rerun with -ooo 0.5")
+		return 1
 	}
 
 	sizes, err := parseSizes(*sizesArg)
@@ -107,6 +118,19 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	var names []string
 	for _, p := range selected {
 		names = append(names, p.String()+" total", p.String()+" overhead")
+		if *twinCol {
+			names = append(names, p.String()+" sim total", p.String()+" twin-err%")
+		}
+	}
+	// protoName recovers the CLI name of a protocol for the simulator side
+	// of the -twin comparison.
+	protoName := func(p analytic.Protocol) string {
+		for name, pp := range protocols {
+			if pp == p {
+				return name
+			}
+		}
+		return ""
 	}
 
 	// Every packet size evaluates independently against its own schedule, so
@@ -132,6 +156,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 					return report.SeriesPoint{}, err
 				}
 				values = append(values, float64(b.Total().Total()), b.Overhead())
+				if *twinCol {
+					cells, err := experiments.RunProtocol(protoName(proto), *words, n, *ackGroup)
+					if err != nil {
+						return report.SeriesPoint{}, err
+					}
+					sim := float64(cells.Total().Total())
+					errPct := 0.0
+					if sim != 0 {
+						errPct = (float64(b.Total().Total()) - sim) / sim * 100
+					}
+					values = append(values, sim, errPct)
+				}
 			}
 			return report.SeriesPoint{X: n, Values: values}, nil
 		})
@@ -190,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 	fmt.Fprint(stdout, report.Series(title, "n", names, points))
+	fmt.Fprintln(stdout, "# shards: 1 (accepted for flag uniformity; the word-level protocol network has no sharded engine)")
 	return 0
 }
 

@@ -1,0 +1,157 @@
+package analytic
+
+import (
+	"testing"
+
+	"msglayer/internal/cost"
+)
+
+// allProtocols enumerates the four modeled protocols for property sweeps.
+var allProtocols = []Protocol{
+	ProtoFiniteCMAM, ProtoIndefiniteCMAM, ProtoFiniteCR, ProtoIndefiniteCR,
+}
+
+// halfParams is the paper's Table 2 parameterization for a message size.
+func halfParams(s *cost.Schedule, words int) Params {
+	return Params{
+		MessageWords: words,
+		OutOfOrder:   HalfOutOfOrder(s, words),
+		AckGroup:     1,
+	}
+}
+
+// TestTotalMonotoneInMessageWords: every protocol's total cost is
+// non-decreasing in the message size — more data never costs fewer
+// instructions. Swept word by word so packet-boundary steps are covered.
+func TestTotalMonotoneInMessageWords(t *testing.T) {
+	for _, n := range []int{4, 16} {
+		s := sched(t, n)
+		for _, proto := range allProtocols {
+			prev := uint64(0)
+			for words := 1; words <= 8*n; words++ {
+				b, err := Evaluate(proto, s, halfParams(s, words))
+				if err != nil {
+					t.Fatalf("%v n=%d words=%d: %v", proto, n, words, err)
+				}
+				total := b.Total().Total()
+				if total < prev {
+					t.Errorf("%v n=%d: total(%d words) = %d < total(%d words) = %d",
+						proto, n, words, total, words-1, prev)
+				}
+				prev = total
+			}
+		}
+	}
+}
+
+// TestIndefiniteCMAMNonIncreasingInAckGroup: grouping acknowledgements can
+// only remove ack traffic, so the stream protocol's total is non-increasing
+// in g, and the fault-tolerance row is where the savings land.
+func TestIndefiniteCMAMNonIncreasingInAckGroup(t *testing.T) {
+	s := sched(t, 4)
+	const words = 256 // 64 packets
+	prevTotal := ^uint64(0)
+	prevFT := ^uint64(0)
+	for g := 1; g <= 70; g++ {
+		b, err := IndefiniteCMAM(s, Params{
+			MessageWords: words,
+			OutOfOrder:   HalfOutOfOrder(s, words),
+			AckGroup:     g,
+		})
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		total := b.Total().Total()
+		ft := b.FeatureTotal(cost.FaultTol).Total()
+		if total > prevTotal {
+			t.Errorf("total(g=%d) = %d > total(g=%d) = %d", g, total, g-1, prevTotal)
+		}
+		if ft > prevFT {
+			t.Errorf("fault-tol(g=%d) = %d > fault-tol(g=%d) = %d", g, ft, g-1, prevFT)
+		}
+		prevTotal, prevFT = total, ft
+	}
+	// Past p the whole transfer is one short group acknowledged with the
+	// next transfer's data — zero acks — so the total plateaus.
+	p := Packets(s, words)
+	big, err := IndefiniteCMAM(s, Params{MessageWords: words, OutOfOrder: 0, AckGroup: p + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := IndefiniteCMAM(s, Params{MessageWords: words, OutOfOrder: 0, AckGroup: 10 * p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Total().Total() != huge.Total().Total() {
+		t.Errorf("g=p+1 total %d != g=10p total %d (expected ack-free plateau)",
+			big.Total().Total(), huge.Total().Total())
+	}
+}
+
+// TestPacketsBoundaries: the packet count at and around exact multiples of
+// the payload, plus the degenerate single-word message.
+func TestPacketsBoundaries(t *testing.T) {
+	for _, n := range []int{2, 4, 16} { // payloads are positive even word counts
+		s := sched(t, n)
+		cases := []struct{ words, want int }{
+			{1, 1},         // single-word message is always one packet
+			{n, 1},         // exact single packet
+			{n + 1, 2},     // one word over the boundary
+			{2 * n, 2},     // exact multiple
+			{2*n + 1, 3},   // just past an exact multiple
+			{10 * n, 10},   // larger exact multiple
+			{10*n - 1, 10}, // just under it still needs the tenth packet
+		}
+		for _, tc := range cases {
+			if got := Packets(s, tc.words); got != tc.want {
+				t.Errorf("n=%d: Packets(%d) = %d, want %d", n, tc.words, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestHalfOutOfOrderBoundaries: the Table 2 assumption rounds down, stays
+// within [0, p], and a single-packet message is never out of order.
+func TestHalfOutOfOrderBoundaries(t *testing.T) {
+	s := sched(t, 4)
+	for _, tc := range []struct{ words, want int }{
+		{1, 0},  // one packet: 1/2 rounds down to none
+		{4, 0},  // still one packet
+		{5, 1},  // two packets: one reordered
+		{12, 1}, // three packets round down
+		{16, 2}, // four packets: exactly half
+		{1024, 128},
+	} {
+		if got := HalfOutOfOrder(s, tc.words); got != tc.want {
+			t.Errorf("HalfOutOfOrder(%d) = %d, want %d", tc.words, got, tc.want)
+		}
+	}
+	// The assumption must always be a legal OutOfOrder value.
+	for words := 1; words <= 64; words++ {
+		p := Packets(s, words)
+		if ooo := HalfOutOfOrder(s, words); ooo < 0 || ooo > p {
+			t.Errorf("HalfOutOfOrder(%d) = %d outside [0,%d]", words, ooo, p)
+		}
+	}
+}
+
+// TestOutOfOrderCostsAtLeastInOrder: reordered arrivals pay buffering and a
+// drain on top of the in-order path, so for a fixed message the stream
+// protocol's total is non-decreasing in the out-of-order count.
+func TestOutOfOrderCostsAtLeastInOrder(t *testing.T) {
+	s := sched(t, 4)
+	const words = 64
+	p := Packets(s, words)
+	prev := uint64(0)
+	for ooo := 0; ooo <= p; ooo++ {
+		b, err := IndefiniteCMAM(s, Params{MessageWords: words, OutOfOrder: ooo, AckGroup: 1})
+		if err != nil {
+			t.Fatalf("ooo=%d: %v", ooo, err)
+		}
+		total := b.Total().Total()
+		if total < prev {
+			t.Errorf("total(ooo=%d) = %d < total(ooo=%d) = %d", ooo, total, ooo-1, prev)
+		}
+		prev = total
+	}
+}

@@ -292,6 +292,30 @@ func RunCanonical(name string, words int) (report.Cells, error) {
 	return nil, fmt.Errorf("experiments: unknown canonical scenario %q", name)
 }
 
+// RunProtocol runs one generalized protocol point on the real simulator:
+// the named protocol (finite, indefinite, finite-cr, indefinite-cr) moving
+// a words-sized message in packetWords-word hardware packets, with
+// ackGroup grouping acknowledgements on the indefinite CMAM protocol. It
+// is the simulation side of cmd/sweep's -twin column: the analytic model
+// must reproduce these cells exactly. The runs are deterministic and
+// parallel-safe.
+func RunProtocol(name string, words, packetWords, ackGroup int) (report.Cells, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("experiments: words must be positive, got %d", words)
+	}
+	switch name {
+	case "finite":
+		return runFiniteCMAM(words, packetWords)
+	case "indefinite":
+		return runStreamCMAM(words, packetWords, ackGroup)
+	case "finite-cr":
+		return runFiniteCR(words, packetWords)
+	case "indefinite-cr":
+		return runStreamCR(words, packetWords)
+	}
+	return nil, fmt.Errorf("experiments: unknown protocol %q", name)
+}
+
 // runSingle runs one single-packet delivery and returns the gauge.
 func runSingle() (*cost.Gauge, error) {
 	net, err := network.NewCM5Net(network.CM5Config{Nodes: 2})

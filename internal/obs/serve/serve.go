@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/diff"
 	"msglayer/internal/obs/timeline"
+	"msglayer/internal/twin"
 )
 
 // Server serves one hub's live observability view.
@@ -83,6 +85,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/critpath", s.handleCritpath)
 	mux.HandleFunc("/timeline", s.handleTimeline)
 	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/twin", s.handleTwin)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -167,6 +170,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /critpath       per-message critical-path latency attribution (text)")
 	fmt.Fprintln(w, "  /timeline       windowed metrics timeline JSON")
 	fmt.Fprintln(w, "  /diff           live hub vs a baseline artifact (POST body or ?file=)")
+	fmt.Fprintln(w, "  /twin           O(1) analytic twin prediction (?load=&mode=... or ?proto=&words=)")
 	fmt.Fprintln(w, "  /debug/pprof/   host-side Go profiles")
 }
 
@@ -328,6 +332,105 @@ func loadBaseline(name string, data []byte) (*diff.Artifact, error) {
 		return diff.LoadArtifactBytes(name, doc.Registry)
 	}
 	return diff.LoadArtifactBytes(name, data)
+}
+
+// handleTwin answers an O(1) analytic twin prediction for the operating
+// point described by the query string — closed form, no hub access, no
+// simulation, so it is safe to hit at any rate while a sweep runs.
+// ?proto=<scenario>&words=N predicts protocol instruction counts; otherwise
+// ?topology=&k=&levels=&w=&h=&mode=&vc=&load=&cycles= predicts a flit-network
+// point (all parameters optional, defaulting to the calibration point).
+func (s *Server) handleTwin(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	str := func(name, def string) string {
+		if v := q.Get(name); v != "" {
+			return v
+		}
+		return def
+	}
+	num := func(name string, def int) (int, error) {
+		if v := q.Get(name); v != "" {
+			return strconv.Atoi(v)
+		}
+		return def, nil
+	}
+	answer := func(v any) {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(b, '\n'))
+	}
+	if proto := q.Get("proto"); proto != "" {
+		words, err := num("words", 64)
+		if err != nil {
+			http.Error(w, "bad words: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, err := (twin.ProtoPoint{Scenario: proto, Words: words}).PredictProto()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		answer(struct {
+			Scenario string `json:"scenario"`
+			Words    int    `json:"words"`
+			twin.ProtoPrediction
+		}{proto, words, p})
+		return
+	}
+	mode, err := twin.ParseMode(str("mode", "deterministic"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	regime := twin.Regime{Topology: str("topology", "fattree"), Mode: mode}
+	var a, b int
+	if regime.Topology == "mesh" {
+		a, err = num("w", 4)
+		if err == nil {
+			b, err = num("h", 4)
+		}
+	} else {
+		a, err = num("k", 4)
+		if err == nil {
+			b, err = num("levels", 2)
+		}
+	}
+	if err != nil {
+		http.Error(w, "bad shape: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	regime.A, regime.B = a, b
+	if regime.VCs, err = num("vc", 1); err != nil {
+		http.Error(w, "bad vc: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cycles, err := num("cycles", twin.CalCycles)
+	if err != nil {
+		http.Error(w, "bad cycles: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	load := 0.1
+	if v := q.Get("load"); v != "" {
+		if load, err = strconv.ParseFloat(v, 64); err != nil {
+			http.Error(w, "bad load: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	p, err := (twin.NetPoint{Regime: regime, Load: load, Cycles: cycles}).PredictNet()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	answer(struct {
+		Point  string  `json:"point"`
+		Load   float64 `json:"load"`
+		Cycles int     `json:"cycles"`
+		twin.NetPrediction
+	}{regime.String(), load, cycles, p})
 }
 
 // handleCritpath renders the live per-message critical-path report: the

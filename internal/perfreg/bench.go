@@ -9,6 +9,7 @@ import (
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/sim"
 	"msglayer/internal/topology"
+	"msglayer/internal/twin"
 )
 
 // BenchResult is one allocation benchmark recorded via testing.Benchmark.
@@ -33,6 +34,7 @@ const (
 	BenchTickSparse      = "flitnet-tick-sparse"
 	BenchTickLarge       = "flitnet-tick-large"
 	BenchTickLargeShard4 = "flitnet-tick-large-shard4"
+	BenchTwinEval        = "twin-eval"
 )
 
 // recordBenches runs the allocation benchmarks the PR gate tracks: the
@@ -52,6 +54,28 @@ func recordBenches() []BenchResult {
 		benchResult(BenchTickLarge, func(b *testing.B) { benchFlitnetLarge(b, 1) }),
 		benchResult(BenchTickLargeShard4, func(b *testing.B) { benchFlitnetLarge(b, 4) }),
 		benchResult("timeline-sample", benchTimelineSample),
+		benchResult(BenchTwinEval, benchTwinEval),
+	}
+}
+
+// twinSink keeps the compiler from eliding the closed-form evaluation.
+var twinSink float64
+
+// benchTwinEval times one analytic-twin network prediction at an
+// off-knot load, where the PCHIP segments actually interpolate. The twin
+// promises O(1) zero-allocation evaluation; the allocs gate holds it to
+// that.
+func benchTwinEval(b *testing.B) {
+	regime := twin.CalibratedRegimes()[0]
+	point := twin.NetPoint{Regime: regime, Load: 0.123, Cycles: twin.CalCycles}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred, err := point.PredictNet()
+		if err != nil {
+			b.Fatal(err)
+		}
+		twinSink += pred.MeanLatency
 	}
 }
 

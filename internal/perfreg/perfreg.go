@@ -38,11 +38,15 @@ import (
 	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
 	"msglayer/internal/topology"
+	"msglayer/internal/twin"
 	"msglayer/internal/workload"
 )
 
 // SchemaVersion identifies the snapshot layout; bump on incompatible
-// changes. Version 5 added the GOMAXPROCS stamp and the sharded-engine
+// changes. Version 6 added the analytic-twin calibration scenario (the
+// per-regime MAPE and Pearson-r accuracy aggregates as permyriad sim keys,
+// exact-equality gated like every other deterministic metric) and the
+// twin-eval benchmark. Version 5 added the GOMAXPROCS stamp and the sharded-engine
 // scaling benchmarks (the large-mesh tick serial and at four shards,
 // recorded in the same run so the parallel speedup gates within one
 // snapshot — and only on machines with enough processors to mean it).
@@ -55,7 +59,7 @@ import (
 // speedup gates within one snapshot). Version 2 added the parallelism
 // stamp and the allocation benchmark section. Older snapshots still load:
 // the new sections are simply absent, and absent sections are not gated.
-const SchemaVersion = 5
+const SchemaVersion = 6
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -63,6 +67,11 @@ const minSchemaVersion = 1
 // NetloadScenario names the flit-level sweep point recorded alongside the
 // protocol scenarios.
 const NetloadScenario = "netload-fattree-load100"
+
+// TwinScenario names the analytic-twin calibration accuracy record: the
+// per-regime MAPE and Pearson-r aggregates of the twin-vs-simulator sweep,
+// stored as permyriad integers so the exact-equality gate applies.
+const TwinScenario = "twin-calibration"
 
 // Snapshot is one recorded BENCH_PR<k>.json document.
 type Snapshot struct {
@@ -185,6 +194,11 @@ func Record(cfg RecordConfig) (*Snapshot, error) {
 	res, err := recordNetloadScenario(cfg.NetloadCycles, cfg.Reps, workers)
 	if err != nil {
 		return nil, fmt.Errorf("perfreg: %s: %w", NetloadScenario, err)
+	}
+	snap.Scenarios = append(snap.Scenarios, *res)
+	res, err = recordTwinScenario(workers)
+	if err != nil {
+		return nil, fmt.Errorf("perfreg: %s: %w", TwinScenario, err)
 	}
 	snap.Scenarios = append(snap.Scenarios, *res)
 	if !cfg.SkipBenches {
@@ -394,6 +408,44 @@ func recordNetloadScenario(cycles, reps, workers int) (*ScenarioResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// recordTwinScenario runs the analytic twin's full calibration sweep and
+// flattens the accuracy aggregates into sim keys. The sweep is
+// deterministic, so the permyriad MAPE and Pearson values gate under exact
+// equality; record itself refuses a sweep that misses the accuracy floors.
+// The twin's evaluation is closed form, so there is no meaningful host
+// timing to sample — Host stays empty, and empty sample sets are skipped
+// by the statistical gate.
+func recordTwinScenario(workers int) (*ScenarioResult, error) {
+	rep, err := twin.Calibrate(twin.Options{Parallel: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Check(twin.DefaultThresholds()); err != nil {
+		return nil, err
+	}
+	pm := func(v int64) uint64 {
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
+	sim := map[string]uint64{
+		"twin_net_points":   uint64(len(rep.Net)),
+		"twin_proto_points": uint64(len(rep.Proto)),
+	}
+	for _, ra := range rep.NetAccuracy {
+		for _, m := range ra.Metrics {
+			sim[fmt.Sprintf("twin_mape_pm|%s|%s", ra.Regime, m.Metric)] = pm(m.MAPEPm)
+			sim[fmt.Sprintf("twin_pearson_pm|%s|%s", ra.Regime, m.Metric)] = pm(m.PearsonPm)
+		}
+	}
+	for _, m := range rep.ProtoAccuracy {
+		sim["twin_mape_pm|protocol|"+m.Metric] = pm(m.MAPEPm)
+		sim["twin_pearson_pm|protocol|"+m.Metric] = pm(m.PearsonPm)
+	}
+	return &ScenarioResult{Name: TwinScenario, Sim: sim}, nil
 }
 
 // netloadLoad and netloadSeed pin the recorded sweep point.

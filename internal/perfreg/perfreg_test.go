@@ -34,12 +34,24 @@ func TestPerfregRecordShape(t *testing.T) {
 	if s.Schema != SchemaVersion {
 		t.Fatalf("schema = %d, want %d", s.Schema, SchemaVersion)
 	}
-	if len(s.Scenarios) != 6 {
-		t.Fatalf("got %d scenarios, want 6", len(s.Scenarios))
+	if len(s.Scenarios) != 7 {
+		t.Fatalf("got %d scenarios, want 7", len(s.Scenarios))
 	}
 	for _, sc := range s.Scenarios {
 		if len(sc.Sim) == 0 {
 			t.Errorf("%s: no sim metrics", sc.Name)
+		}
+		if sc.Name == TwinScenario {
+			// The twin scenario carries only the calibration accuracy
+			// aggregates: no host samples (evaluation is closed form) and
+			// no instruction totals.
+			if len(sc.Host.WallNS) != 0 {
+				t.Errorf("%s: unexpected host samples", sc.Name)
+			}
+			if sc.Sim["twin_net_points"] == 0 || sc.Sim["twin_proto_points"] == 0 {
+				t.Errorf("%s: point counts missing: %v", sc.Name, sc.Sim)
+			}
+			continue
 		}
 		if len(sc.Host.WallNS) != 2 || len(sc.Host.Allocs) != 2 || len(sc.Host.AllocBytes) != 2 {
 			t.Errorf("%s: host samples %d/%d/%d, want 2 each",
@@ -281,8 +293,8 @@ func TestPerfregRecordBenchesSmoke(t *testing.T) {
 		t.Skip("allocation benchmarks take a couple of seconds")
 	}
 	benches := recordBenches()
-	if len(benches) != 8 {
-		t.Fatalf("got %d benches, want 8", len(benches))
+	if len(benches) != 9 {
+		t.Fatalf("got %d benches, want 9", len(benches))
 	}
 	byName := make(map[string]BenchResult, len(benches))
 	for _, b := range benches {

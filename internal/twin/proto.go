@@ -1,0 +1,87 @@
+package twin
+
+import (
+	"fmt"
+
+	"msglayer/internal/analytic"
+	"msglayer/internal/cost"
+)
+
+// ProtoPoint is one canonical protocol scenario to predict: the same
+// (scenario, words) inputs experiments.RunCanonical simulates.
+type ProtoPoint struct {
+	// Scenario is a canonical scenario name: single, cm5-finite,
+	// cm5-stream, cr-finite, or cr-stream.
+	Scenario string
+	// Words is the transfer size; ignored by "single".
+	Words int
+}
+
+// ProtoPrediction is the twin's instruction-count estimate for a protocol
+// scenario. Unlike the network side this is exact, not fitted: the
+// analytic model charges the same schedule the simulator executes.
+type ProtoPrediction struct {
+	// Total is the end-to-end instruction count (all roles, features, and
+	// categories).
+	Total uint64 `json:"total_instr"`
+	// Overhead is the non-base fraction of Total (Figure 8's y-axis).
+	Overhead float64 `json:"overhead"`
+	// Packets is the hardware packet count of the transfer.
+	Packets int `json:"packets"`
+	// Breakdown is the full role × feature cost table.
+	Breakdown analytic.Breakdown `json:"-"`
+}
+
+// protoPacketWords is the hardware packet payload of the canonical
+// scenarios (the paper's calibration).
+const protoPacketWords = 4
+
+// PredictProto evaluates the analytic model under the canonical scenario's
+// exact conditions: 4-word hardware packets, half the packets out of order
+// on the reordering stream substrate, acknowledgement group 1.
+func (pt ProtoPoint) PredictProto() (ProtoPrediction, error) {
+	s, err := cost.NewPaperSchedule(protoPacketWords)
+	if err != nil {
+		return ProtoPrediction{}, err
+	}
+	if pt.Scenario == "single" {
+		b := analytic.SingleCMAM(s)
+		return ProtoPrediction{
+			Total:     b.Total().Total(),
+			Overhead:  b.Overhead(),
+			Packets:   1,
+			Breakdown: b,
+		}, nil
+	}
+	var proto analytic.Protocol
+	ooo := 0
+	switch pt.Scenario {
+	case "cm5-finite":
+		proto = analytic.ProtoFiniteCMAM
+	case "cm5-stream":
+		// The stream substrate pair-swaps deliveries: half the packets
+		// (rounded down) arrive out of order, the paper's Table 2 case.
+		proto = analytic.ProtoIndefiniteCMAM
+		ooo = analytic.HalfOutOfOrder(s, pt.Words)
+	case "cr-finite":
+		proto = analytic.ProtoFiniteCR
+	case "cr-stream":
+		proto = analytic.ProtoIndefiniteCR
+	default:
+		return ProtoPrediction{}, fmt.Errorf("twin: unknown scenario %q", pt.Scenario)
+	}
+	b, err := analytic.Evaluate(proto, s, analytic.Params{
+		MessageWords: pt.Words,
+		OutOfOrder:   ooo,
+		AckGroup:     1,
+	})
+	if err != nil {
+		return ProtoPrediction{}, err
+	}
+	return ProtoPrediction{
+		Total:     b.Total().Total(),
+		Overhead:  b.Overhead(),
+		Packets:   analytic.Packets(s, pt.Words),
+		Breakdown: b,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package twin
+
+import "msglayer/internal/flitnet"
+
+// Committed calibration tables: the simulator's measured behaviour at the
+// knot loads (calKnotLoads), per regime, on the canonical calibration
+// configuration — 800 measurement cycles, seed 1, uniform traffic, 1-word
+// payloads, BufferFlits 3, InjectQueue 8. Regenerate with `twin -fit`
+// (which runs the simulations and prints this table) whenever the engine's
+// behaviour legitimately changes; the calibration gate fails on any
+// unacknowledged drift.
+var calibratedRegimes = []calibratedRegime{
+	{
+		Regime: Regime{Topology: "fattree", A: 4, B: 2, Mode: flitnet.Deterministic, VCs: 1},
+		Lat:    [CalKnots]float64{5.734939759036145, 6.026016260162602, 7.149921507064364, 9.44291754756871, 17.83835051546392, 29.757795503988397},
+		Thru:   [CalKnots]float64{0.019453125, 0.048046875, 0.09953125, 0.1478125, 0.189453125, 0.21546875},
+		Moves:  [CalKnots]float64{0.151640625, 0.369140625, 0.77296875, 1.13859375, 1.471171875, 1.6734375},
+		Drain:  [CalKnots]float64{4, 4, 11, 12, 36, 44},
+	},
+	{
+		Regime: Regime{Topology: "fattree", A: 4, B: 2, Mode: flitnet.Adaptive, VCs: 1},
+		Lat:    [CalKnots]float64{5.714859437751004, 5.959349593495935, 6.860282574568289, 8.707342842049657, 17.036475409836065, 30.667937476172323},
+		Thru:   [CalKnots]float64{0.019453125, 0.048046875, 0.09953125, 0.147890625, 0.190625, 0.204921875},
+		Moves:  [CalKnots]float64{0.151640625, 0.369140625, 0.77296875, 1.139296875, 1.47984375, 1.586953125},
+		Drain:  [CalKnots]float64{4, 4, 9, 12, 25, 39},
+	},
+	{
+		Regime: Regime{Topology: "fattree", A: 4, B: 2, Mode: flitnet.CR, VCs: 1},
+		Lat:    [CalKnots]float64{7.594377510040161, 8.80650406504065, 17.7758346581876, 40.51140684410647, 52.29369369369369, 56.693548387096776},
+		Thru:   [CalKnots]float64{0.019453125, 0.048046875, 0.09828125, 0.12328125, 0.130078125, 0.135625},
+		Moves:  [CalKnots]float64{0.244921875, 0.594140625, 1.23046875, 1.52953125, 1.636171875, 1.69125},
+		Drain:  [CalKnots]float64{8, 15, 32, 65, 81, 82},
+	},
+	{
+		Regime: Regime{Topology: "mesh", A: 4, B: 4, Mode: flitnet.Deterministic, VCs: 1},
+		Lat:    [CalKnots]float64{6.795180722891566, 7.147967479674797, 8.470957613814758, 12.57498675145734, 23.31847684984855, 34.6520338300443},
+		Thru:   [CalKnots]float64{0.019453125, 0.048046875, 0.09953125, 0.147421875, 0.180546875, 0.193984375},
+		Moves:  [CalKnots]float64{0.211171875, 0.523828125, 1.08515625, 1.6021875, 1.97578125, 2.0840625},
+		Drain:  [CalKnots]float64{5, 6, 15, 14, 49, 46},
+	},
+	{
+		Regime: Regime{Topology: "mesh", A: 4, B: 4, Mode: flitnet.Adaptive, VCs: 2},
+		Lat:    [CalKnots]float64{6.85140562248996, 7.2682926829268295, 8.497645211930926, 10.37189646064448, 14.436220472440946, 26.09114927344782},
+		Thru:   [CalKnots]float64{0.019453125, 0.048046875, 0.09953125, 0.147890625, 0.1984375, 0.2365625},
+		Moves:  [CalKnots]float64{0.211171875, 0.523828125, 1.08515625, 1.607109375, 2.18015625, 2.573671875},
+		Drain:  [CalKnots]float64{5, 6, 11, 13, 25, 61},
+	},
+	{
+		Regime: Regime{Topology: "mesh", A: 4, B: 4, Mode: flitnet.CR, VCs: 1},
+		Lat:    [CalKnots]float64{10.14859437751004, 13.445528455284553, 42.065963060686016, 70.74652493867539, 77.19032258064516, 83.59286293592864},
+		Thru:   [CalKnots]float64{0.019453125, 0.048046875, 0.088828125, 0.095546875, 0.096875, 0.096328125},
+		Moves:  [CalKnots]float64{0.424765625, 1.055078125, 1.917578125, 2.035, 2.11390625, 2.081640625},
+		Drain:  [CalKnots]float64{12, 22, 95, 107, 104, 144},
+	},
+}

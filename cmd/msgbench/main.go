@@ -14,6 +14,7 @@
 //	msgbench -trace-out t.json  # dump a Chrome trace of the runs
 //	msgbench -critpath cp.txt # per-message critical-path attribution ("-" = stdout)
 //	msgbench -timeline-out tl.json  # windowed metrics timeline (.csv for CSV)
+//	msgbench -slo rules.yaml  # evaluate SLO rules live; exit 3 on violation
 //	msgbench -serve :8080     # live /metrics, /snapshot, /trace, /debug/pprof/
 package main
 
@@ -31,6 +32,8 @@ import (
 	"msglayer/internal/critpath"
 	"msglayer/internal/experiments"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/monitor"
+	"msglayer/internal/obs/monitor/blame"
 	"msglayer/internal/obs/serve"
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
@@ -84,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timelineOut := fs.String("timeline-out", "",
 		"sample the runs' metrics into windowed deltas on the machine-round clock and write the timeline (\"-\" = stdout; a .csv suffix selects CSV, otherwise JSON)")
 	timelineInterval := fs.Int("timeline-interval", 100, "timeline window width in machine rounds")
+	sloRulesPath := fs.String("slo", "",
+		"evaluate SLO rules (JSON/YAML file, or \"canonical\") live against the runs' windowed metrics and exit 3 if any alert fired")
+	sloOut := fs.String("slo-out", "-",
+		"SLO alert report destination (\"-\" = stdout; .json/.csv suffixes select the format, otherwise text)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -102,8 +109,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	experiments.SetFlitShards(parsweep.Shards(*shardsFlag, parsweep.Workers(*parallel)))
 	defer experiments.SetFlitShards(0)
 
+	var rules *monitor.RuleSet
+	if *sloRulesPath != "" {
+		var err error
+		if rules, err = monitor.LoadRules(*sloRulesPath); err != nil {
+			fmt.Fprintln(stderr, "msgbench:", err)
+			return 1
+		}
+	}
 	var hub *obs.Hub
-	if *metrics != "" || *traceOut != "" || *critpathOut != "" || *serveAddr != "" || *timelineOut != "" {
+	if *metrics != "" || *traceOut != "" || *critpathOut != "" || *serveAddr != "" || *timelineOut != "" || rules != nil {
 		hub = obs.NewHub()
 		experiments.SetObserver(hub)
 		defer experiments.SetObserver(nil)
@@ -112,15 +127,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// round ticks the hub, and the sampler closes windows as the shared
 	// round counter crosses interval boundaries across all experiments.
 	var sampler *timeline.Sampler
-	if *timelineOut != "" {
+	if *timelineOut != "" || rules != nil {
 		sampler = timeline.New(hub.Metrics, timeline.Config{Interval: uint64(*timelineInterval)})
 		hub.SetTickListener(sampler.Advance)
+	}
+	// The SLO monitor evaluates windows live as the sampler closes them —
+	// the same code path the recorded-timeline replay takes, so reports are
+	// byte-identical either way.
+	var mon *monitor.Monitor
+	if rules != nil {
+		var err error
+		if mon, err = monitor.New(rules); err != nil {
+			fmt.Fprintln(stderr, "msgbench:", err)
+			return 1
+		}
+		mon.SetBlamer(blame.Compute)
+		mon.Attach(sampler)
 	}
 	ctx := context.Background()
 	var srv *serve.Server
 	if *serveAddr != "" {
 		srv = serve.New(hub)
 		srv.SetTimeline(sampler)
+		srv.SetMonitor(mon)
 		if err := srv.Start(*serveAddr); err != nil {
 			fmt.Fprintln(stderr, "msgbench:", err)
 			return 1
@@ -259,7 +288,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
-		if sampler != nil {
+		if sampler != nil && *timelineOut != "" {
 			var tl *timeline.Timeline
 			snap := func() { tl = sampler.Snapshot() }
 			if srv != nil {
@@ -283,6 +312,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The SLO report is written before any violation exit so the artifact
+	// always exists; a paper mismatch still takes exit-code precedence.
+	sloViolated := false
+	if mon != nil {
+		var rep *monitor.Report
+		snap := func() { rep = mon.Snapshot("msgbench") }
+		if srv != nil {
+			srv.Sync(snap)
+		} else {
+			snap()
+		}
+		sloViolated = len(rep.Incidents) > 0
+		render := func(w io.Writer) error {
+			switch {
+			case strings.HasSuffix(*sloOut, ".json"):
+				return monitor.WriteJSON(w, rep)
+			case strings.HasSuffix(*sloOut, ".csv"):
+				return monitor.WriteCSV(w, rep)
+			default:
+				return monitor.WriteText(w, rep)
+			}
+		}
+		if err := writeTo(*sloOut, stdout, render); err != nil {
+			fmt.Fprintln(stderr, "msgbench:", err)
+			return 1
+		}
+	}
+
 	if srv != nil && ctx.Err() == nil {
 		// Keep the recorded run inspectable until the user interrupts.
 		fmt.Fprintln(stderr, "msgbench: runs done, still serving (SIGINT to stop)")
@@ -291,6 +348,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if mismatches > 0 {
 		fmt.Fprintf(stderr, "msgbench: %d comparisons diverged from the paper\n", mismatches)
 		return 1
+	}
+	if sloViolated {
+		fmt.Fprintln(stderr, "msgbench: SLO violated")
+		return 3
 	}
 	return 0
 }

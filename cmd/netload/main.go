@@ -21,6 +21,7 @@
 //	netload -memprofile mem.out        # pprof allocation profile at exit
 //	netload -dense                     # dense reference engine (baseline)
 //	netload -critpath cp.txt           # per-worm critical-path attribution ("-" = stdout)
+//	netload -slo rules.yaml            # evaluate SLO rules per point; exit 3 on violation
 package main
 
 import (
@@ -41,6 +42,8 @@ import (
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/diff"
+	"msglayer/internal/obs/monitor"
+	"msglayer/internal/obs/monitor/blame"
 	"msglayer/internal/obs/serve"
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
@@ -91,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		"append the analytic twin's closed-form predicted latency and its error vs the measured value per mode (twin-lat and twin-err% columns; the twin is calibrated on uniform traffic)")
 	baselineOut := fs.String("baseline", "",
 		"emit the paper's baseline-vs-CR comparison (Figure 6) as an obsdiff report: per-load deterministic-routing points diffed against their CR points, link by link (\"-\" = stdout; .json/.csv suffixes select the format, otherwise text)")
+	sloRules := fs.String("slo", "",
+		"evaluate SLO rules (JSON/YAML file, or \"canonical\") against every point's windowed timeline and exit 3 if any alert fired; samples each point like -timeline-out")
+	sloOut := fs.String("slo-out", "-",
+		"SLO alert report destination (\"-\" = stdout; .json/.csv suffixes select the format, otherwise text)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "netload: offered load vs throughput/latency on the flit simulator")
 		fs.PrintDefaults()
@@ -112,6 +119,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		fmt.Fprintln(stderr, "netload:", err)
 		return 1
+	}
+	// Rules load before the sweep so a bad rules file fails fast, not after
+	// minutes of simulation.
+	var rules *monitor.RuleSet
+	if *sloRules != "" {
+		if rules, err = monitor.LoadRules(*sloRules); err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
 	}
 	// Profiles cover the whole run and finalize on every exit path; a
 	// profile that cannot be written is reported and removed, never left
@@ -251,12 +267,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		// in input order and stay byte-identical at any worker count.
 		var pointHub *obs.Hub
 		var scope *obs.FlitScope
-		if *critpathOut != "" || *timelineOut != "" || *baselineOut != "" {
+		if *critpathOut != "" || *timelineOut != "" || *baselineOut != "" || *sloRules != "" {
 			pointHub = obs.NewHub()
 			scope = pointHub.FlitScope()
 		}
 		var sampler *timeline.Sampler
-		if *timelineOut != "" {
+		if *timelineOut != "" || *sloRules != "" {
 			sampler = timeline.New(pointHub.Metrics, timeline.Config{Interval: uint64(*timelineInterval)})
 		}
 		thru, lat, st, idle, err := measure(topo, mode, *vcs, pattern, load, *cycles, *seed, *dense, shards, scope, sampler)
@@ -472,6 +488,67 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}
 		}
 	}
+	// SLO evaluation replays every completed point's timeline through the
+	// monitor, in input order, so the merged alert report is byte-identical
+	// at any -parallel/-shards value and on either engine. The report is
+	// written before the violation exit so the artifact always exists.
+	sloViolated := false
+	if rules != nil {
+		var reports []*monitor.Report
+		for i := 0; i < prefix; i++ {
+			if results[i].tl == nil {
+				continue
+			}
+			m, err := monitor.New(rules)
+			if err != nil {
+				fmt.Fprintln(stderr, "netload:", err)
+				return 1
+			}
+			m.SetBlamer(blame.Compute)
+			label := fmt.Sprintf("%s/load=%d", modes[i%len(modes)], int(loads[i/len(modes)]*1000))
+			if err := m.Replay(results[i].tl); err != nil {
+				fmt.Fprintf(stderr, "netload: slo: %s: %v\n", label, err)
+				return 1
+			}
+			rep := m.Snapshot(label)
+			reports = append(reports, rep)
+			sloViolated = sloViolated || len(rep.Incidents) > 0
+		}
+		err := writeTo(*sloOut, stdout, func(w io.Writer) error {
+			switch {
+			case strings.HasSuffix(*sloOut, ".json"):
+				return monitor.WriteJSONReports(w, reports)
+			case strings.HasSuffix(*sloOut, ".csv"):
+				cw := csv.NewWriter(w)
+				if err := cw.Write(monitor.CSVHeader("label")); err != nil {
+					return err
+				}
+				for _, rep := range reports {
+					if err := monitor.AppendCSV(cw, []string{rep.Label}, rep); err != nil {
+						return err
+					}
+				}
+				cw.Flush()
+				return cw.Error()
+			default:
+				for i, rep := range reports {
+					if i > 0 {
+						if _, err := io.WriteString(w, "\n"); err != nil {
+							return err
+						}
+					}
+					if err := monitor.WriteText(w, rep); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "netload:", err)
+			return 1
+		}
+	}
 	if hub != nil && hub.Trace.Dropped() > 0 {
 		fmt.Fprintf(stderr, "netload: warning: trace dropped %d events; exported traces are truncated\n", hub.Trace.Dropped())
 	}
@@ -479,6 +556,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		// Keep the final state inspectable until the user interrupts.
 		fmt.Fprintln(stderr, "netload: sweep done, still serving (SIGINT to stop)")
 		<-ctx.Done()
+	}
+	if sloViolated {
+		fmt.Fprintln(stderr, "netload: SLO violated")
+		return 3
 	}
 	return 0
 }

@@ -65,9 +65,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		typed[name] = true
 		help := metricHelp[name]
 		if help == "" {
-			for _, q := range exportedQuantiles {
-				if base, ok := strings.CutSuffix(name, "_"+q.suffix); ok && metricHelp[base] != "" {
-					help = q.suffix + " quantile of " + metricHelp[base]
+			for _, q := range r.exportQuantiles() {
+				if base, ok := strings.CutSuffix(name, "_"+q.Suffix); ok && metricHelp[base] != "" {
+					help = q.Suffix + " quantile of " + metricHelp[base]
 				}
 			}
 		}
@@ -120,13 +120,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	// Bucket-derived quantiles as their own gauge families, grouped per
 	// family so the exposition stays well-formed.
-	for _, q := range exportedQuantiles {
+	for _, q := range r.exportQuantiles() {
 		for _, k := range sortedKeys(r.hists) {
-			name := k.Name + "_" + q.suffix
+			name := k.Name + "_" + q.Suffix
 			if err := header(name, "gauge"); err != nil {
 				return err
 			}
-			if err := write("%s%s%s %d\n", MetricPrefix, name, braced(k.labelString()), r.hists[k].Quantile(q.q)); err != nil {
+			if err := write("%s%s%s %d\n", MetricPrefix, name, braced(k.labelString()), r.hists[k].Quantile(q.Q)); err != nil {
 				return err
 			}
 		}
@@ -134,15 +134,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// exportedQuantiles are the bucket-derived quantiles both exporters emit
-// alongside the raw bucket dumps.
-var exportedQuantiles = []struct {
-	suffix string
-	q      float64
-}{
+// ExportQuantile names one bucket-derived quantile the exporters emit
+// alongside the raw bucket dumps; Suffix becomes the series-name suffix
+// ("_p99") and the JSON quantile map key.
+type ExportQuantile struct {
+	Suffix string
+	Q      float64
+}
+
+// defaultQuantiles is the historical export list; registries emit it until
+// SetExportQuantiles overrides it, so existing goldens stay byte-stable.
+var defaultQuantiles = []ExportQuantile{
 	{"p50", 0.50},
 	{"p90", 0.90},
 	{"p99", 0.99},
+}
+
+// DefaultQuantiles returns the default export list (p50, p90, p99).
+func DefaultQuantiles() []ExportQuantile {
+	return append([]ExportQuantile(nil), defaultQuantiles...)
+}
+
+// ExtendedQuantiles returns the default list plus the p99.9 tail quantile.
+func ExtendedQuantiles() []ExportQuantile {
+	return append(DefaultQuantiles(), ExportQuantile{"p999", 0.999})
+}
+
+// SetExportQuantiles overrides the quantiles both exporters emit for this
+// registry. nil restores the default list.
+func (r *Registry) SetExportQuantiles(qs []ExportQuantile) { r.quantiles = qs }
+
+// exportQuantiles resolves the effective export list.
+func (r *Registry) exportQuantiles() []ExportQuantile {
+	if r.quantiles != nil {
+		return r.quantiles
+	}
+	return defaultQuantiles
 }
 
 // appendLabel adds one label pair to a rendered label list.
@@ -221,9 +248,10 @@ func (r *Registry) JSONMetrics() []JSONMetric {
 		m.Sum = h.Sum()
 		m.Count = h.Count()
 		if h.Count() > 0 {
-			m.Quantiles = make(map[string]uint64, len(exportedQuantiles))
-			for _, q := range exportedQuantiles {
-				m.Quantiles[q.suffix] = h.Quantile(q.q)
+			qs := r.exportQuantiles()
+			m.Quantiles = make(map[string]uint64, len(qs))
+			for _, q := range qs {
+				m.Quantiles[q.Suffix] = h.Quantile(q.Q)
 			}
 		}
 		out = append(out, m)

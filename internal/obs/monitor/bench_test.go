@@ -1,0 +1,56 @@
+package monitor
+
+import (
+	"testing"
+
+	"msglayer/internal/obs"
+	"msglayer/internal/obs/timeline"
+)
+
+// BenchmarkMonitorEval measures one steady-state evaluation step: every op
+// mutates the counters and histogram the canonical rules watch, then
+// advances a 1-cycle-window sampler with the SLO monitor riding the
+// window stream — so each op closes a window and evaluates every rule
+// against it. Steady-state evaluation promises zero allocations; the
+// workload is tuned so no rule fires (incident opening is the allowed
+// cold path). perfreg records the same workload as the monitor-eval
+// bench the compare gate holds at 0 allocs/op.
+func BenchmarkMonitorEval(b *testing.B) {
+	reg := obs.NewRegistry()
+	delivered := reg.Counter(obs.Key{Name: "net_delivered_total", Node: -1, Proto: "bench"})
+	injected := reg.Counter(obs.Key{Name: "net_injected_total", Node: -1, Proto: "bench"})
+	h := reg.Histogram(obs.Key{Name: "transfer_latency_rounds", Node: -1, Proto: "bench"}, nil)
+	s := timeline.New(reg, timeline.Config{Interval: 1})
+	mon, err := New(CanonicalRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.Attach(s)
+
+	// Bound the retained window count the way the sampler bench does: a
+	// long measured pass rotates the timeline once the arenas reach their
+	// working size. Reset keeps capacity, so rotation is allocation-free.
+	const rotateAt = 1 << 15
+	cycle := uint64(0)
+	loop := func(n int) {
+		for i := 0; i < n; i++ {
+			cycle++
+			delivered.Add(3)
+			injected.Add(3)
+			h.Observe(cycle % 64)
+			s.Advance(cycle)
+			if s.Windows() >= rotateAt {
+				s.Reset(cycle)
+			}
+		}
+	}
+	loop(rotateAt) // grow arenas, compile series dispatch, warm burn rings
+	s.Reset(cycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	loop(b.N)
+	b.StopTimer()
+	if mon.IncidentCount() != 0 {
+		b.Fatalf("bench workload fired %d incidents; the measured path must stay steady-state", mon.IncidentCount())
+	}
+}

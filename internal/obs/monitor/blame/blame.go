@@ -1,0 +1,37 @@
+// Package blame wires the SLO monitor's incident blame to the
+// differential attribution engine. It lives outside the monitor package
+// because diff imports perfreg and perfreg evaluates alert digests through
+// the monitor: monitor -> diff would close that loop into a cycle, so the
+// monitor takes the blame computation as an injected BlameFunc and every
+// caller that wants blame wires Compute.
+package blame
+
+import (
+	"msglayer/internal/obs/diff"
+	"msglayer/internal/obs/monitor"
+	"msglayer/internal/obs/timeline"
+)
+
+// Compute is the canonical monitor.BlameFunc: it diffs the pre-violation
+// window against the window that opened the alert (each wrapped as a
+// single-window timeline, so phase, breakdown, counter, link, gauge, and
+// histogram sections all participate) and returns the top n moved terms.
+func Compute(interval uint64, pre, vio timeline.Window, n int) []monitor.BlameEntry {
+	wrap := func(w timeline.Window) *timeline.Timeline {
+		return &timeline.Timeline{Schema: timeline.SchemaVersion, Interval: interval, Windows: []timeline.Window{w}}
+	}
+	rep := diff.CompareTimelines("pre-violation", "violation", wrap(pre), wrap(vio))
+	ranked := rep.Blame(n)
+	out := make([]monitor.BlameEntry, 0, len(ranked))
+	for _, e := range ranked {
+		out = append(out, monitor.BlameEntry{
+			Section:  e.Section,
+			Unit:     e.Unit,
+			Key:      e.Key,
+			Delta:    e.Delta,
+			Permille: e.Permille,
+			OnlyIn:   e.OnlyIn,
+		})
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package monitor_test
+
+import (
+	"bytes"
+	"testing"
+
+	"msglayer/internal/obs"
+	"msglayer/internal/obs/monitor"
+	"msglayer/internal/obs/monitor/blame"
+	"msglayer/internal/obs/timeline"
+)
+
+// liveFixture drives a registry through a deterministic little scenario:
+// deliveries ramp up, stall for a stretch, and recover, while a latency
+// histogram observes growing values.
+func liveFixture(t *testing.T, m *monitor.Monitor) *timeline.Sampler {
+	t.Helper()
+	reg := obs.NewRegistry()
+	delivered := reg.Counter(obs.Key{Name: "net_delivered_total", Node: -1, Proto: "fixture"})
+	events := reg.Counter(obs.Key{Name: "protocol_events_total", Node: 0, Proto: "fixture", Event: "send"})
+	lat := reg.Histogram(obs.Key{Name: "transfer_latency_rounds", Node: -1, Proto: "fixture"}, nil)
+	s := timeline.New(reg, timeline.Config{Interval: 10})
+	if m != nil {
+		m.Attach(s)
+	}
+	for cycle := uint64(1); cycle <= 100; cycle++ {
+		stalled := cycle > 30 && cycle <= 60
+		if !stalled {
+			delivered.Add(2)
+			events.Add(3)
+			lat.Observe(cycle / 10)
+		}
+		s.Advance(cycle)
+	}
+	s.Flush(100)
+	return s
+}
+
+func fixtureRules() *monitor.RuleSet {
+	min := uint64(100)
+	return &monitor.RuleSet{Rules: []monitor.Rule{{
+		Name: "floor", Kind: monitor.KindRate,
+		Match: monitor.Match{Prefix: "net_delivered_total"},
+		Min:   &min, ForWindows: 2, ClearWindows: 1,
+	}}}
+}
+
+// TestLiveMatchesReplay: evaluating windows as they close and replaying
+// the exported timeline produce byte-identical reports — the monitor's
+// core determinism contract.
+func TestLiveMatchesReplay(t *testing.T) {
+	live, err := monitor.New(fixtureRules())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	live.SetBlamer(blame.Compute)
+	s := liveFixture(t, live)
+	tl := s.Snapshot()
+
+	replay, err := monitor.New(fixtureRules())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	replay.SetBlamer(blame.Compute)
+	if err := replay.Replay(tl); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+
+	var a, b bytes.Buffer
+	if err := monitor.WriteText(&a, live.Snapshot("fixture")); err != nil {
+		t.Fatalf("WriteText(live): %v", err)
+	}
+	if err := monitor.WriteText(&b, replay.Snapshot("fixture")); err != nil {
+		t.Fatalf("WriteText(replay): %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("live and replay reports differ:\n--- live ---\n%s\n--- replay ---\n%s", a.String(), b.String())
+	}
+	if live.IncidentCount() == 0 {
+		t.Fatalf("fixture produced no incidents; the stall should trip the floor")
+	}
+}
+
+// TestLiveBoundaryCycle: mutations on exactly the boundary cycle land in
+// the closing window for both the sampler and the monitor, so an alert
+// opened by a boundary-cycle violation has deterministic provenance.
+func TestLiveBoundaryCycle(t *testing.T) {
+	max := uint64(100)
+	rs := &monitor.RuleSet{Rules: []monitor.Rule{{
+		Name: "ceiling", Kind: monitor.KindRate,
+		Match: monitor.Match{Prefix: "boundary_total"}, Max: &max,
+	}}}
+	m, err := monitor.New(rs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	reg := obs.NewRegistry()
+	c := reg.Counter(obs.Key{Name: "boundary_total", Node: -1})
+	s := timeline.New(reg, timeline.Config{Interval: 10})
+	m.Attach(s)
+	// Cycle 10 is the boundary of window (0,10]: its mutations precede
+	// Advance(10), so they belong to window 0 — pushing it to 2*100 = 200
+	// per kcycle and opening the alert at window 0, not window 1.
+	c.Add(2)
+	s.Advance(10)
+	s.Flush(20)
+	rep := m.Snapshot("boundary")
+	if len(rep.Incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(rep.Incidents))
+	}
+	inc := rep.Incidents[0]
+	if inc.OpenWindow != 0 || inc.OpenCycle != 10 || inc.Value != 200 {
+		t.Errorf("incident = %+v, want open at window 0 cycle 10 value 200", inc)
+	}
+	if inc.CloseWindow != 1 {
+		t.Errorf("close window = %d, want 1 (idle window clears the ceiling)", inc.CloseWindow)
+	}
+}
+
+// TestBlameSnippet: an alert that opens past window 0 carries a ranked
+// diff against the pre-violation window, naming the series that moved.
+func TestBlameSnippet(t *testing.T) {
+	m, err := monitor.New(fixtureRules())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.SetBlamer(blame.Compute)
+	liveFixture(t, m)
+	rep := m.Snapshot("blame")
+	if len(rep.Incidents) == 0 {
+		t.Fatalf("no incidents")
+	}
+	inc := rep.Incidents[0]
+	if inc.FirstWindow == 0 {
+		t.Fatalf("fixture stall unexpectedly starts at window 0")
+	}
+	if len(inc.Blame) == 0 {
+		t.Fatalf("incident carries no blame snippet")
+	}
+	found := false
+	for _, b := range inc.Blame {
+		if b.Delta != 0 && (b.Section == "counters" || b.Section == "phases" || b.Section == "phase/steady") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blame snippet has no moved counter/phase terms: %+v", inc.Blame)
+	}
+}
+
+// TestBlameSkippedAtWindowZero: a streak starting at the first window has
+// no pre-violation window and must not fabricate one.
+func TestBlameSkippedAtWindowZero(t *testing.T) {
+	min := uint64(100)
+	rs := &monitor.RuleSet{Rules: []monitor.Rule{{
+		Name: "floor", Kind: monitor.KindRate,
+		Match: monitor.Match{Prefix: "net_delivered_total"}, Min: &min,
+	}}}
+	m, err := monitor.New(rs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.SetBlamer(blame.Compute)
+	reg := obs.NewRegistry()
+	reg.Counter(obs.Key{Name: "net_delivered_total", Node: -1})
+	s := timeline.New(reg, timeline.Config{Interval: 10})
+	m.Attach(s)
+	s.Flush(10)
+	rep := m.Snapshot("zero")
+	if len(rep.Incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(rep.Incidents))
+	}
+	if len(rep.Incidents[0].Blame) != 0 {
+		t.Fatalf("window-0 incident carries blame: %+v", rep.Incidents[0].Blame)
+	}
+}
+
+// TestMonitorEvalAllocs: the steady-state evaluation path (window close →
+// rule scratch → hysteresis) must not allocate. Mirrors the perfreg
+// monitor-eval bench twin that gates this in CI.
+func TestMonitorEvalAllocs(t *testing.T) {
+	reg := obs.NewRegistry()
+	delivered := reg.Counter(obs.Key{Name: "net_delivered_total", Node: -1, Proto: "bench"})
+	injected := reg.Counter(obs.Key{Name: "net_injected_total", Node: -1, Proto: "bench"})
+	lat := reg.Histogram(obs.Key{Name: "transfer_latency_rounds", Node: -1, Proto: "bench"}, nil)
+	s := timeline.New(reg, timeline.Config{Interval: 1})
+	m, err := monitor.New(monitor.CanonicalRules())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Attach(s)
+	cycle := uint64(0)
+	step := func() {
+		cycle++
+		delivered.Add(3)
+		injected.Add(3)
+		lat.Observe(cycle % 64)
+		s.Advance(cycle)
+	}
+	// Warm pass: series dispatch compiles, arenas and scratch reach
+	// steady-state capacity.
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	s.Reset(cycle)
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("monitor steady-state evaluation allocates %.1f allocs/op, want 0", allocs)
+	}
+	if m.IncidentCount() != 0 {
+		t.Fatalf("alloc fixture unexpectedly fired %d incidents", m.IncidentCount())
+	}
+}

@@ -1,0 +1,326 @@
+package monitor
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// SchemaVersion identifies the exported alert-report layout.
+const SchemaVersion = 1
+
+// BlameEntry is one ranked line of the pre-violation diff attached to an
+// incident (the monitor-local mirror of diff.BlameEntry, so the engine
+// itself needs no diff import).
+type BlameEntry struct {
+	Section  string `json:"section"`
+	Unit     string `json:"unit"`
+	Key      string `json:"key"`
+	Delta    int64  `json:"delta"`
+	Permille int64  `json:"permille"`
+	OnlyIn   string `json:"only_in,omitempty"`
+}
+
+// Incident is one alert span: the window provenance of its opening and
+// closing, the observed values, and the optional blame snippet.
+type Incident struct {
+	Rule      string `json:"rule"`
+	Kind      string `json:"kind"`
+	Severity  string `json:"severity"`
+	Threshold string `json:"threshold"`
+	// Series names the worst offending series at open (utilization and
+	// quantile rules); rate and burn rules aggregate and leave it empty.
+	Series string `json:"series,omitempty"`
+	// FirstWindow starts the violation streak that opened the alert;
+	// OpenWindow is where the streak reached for_windows. FirstCycle is
+	// FirstWindow's starting cycle, OpenCycle the opening window's closing
+	// cycle.
+	FirstWindow int    `json:"first_window"`
+	OpenWindow  int    `json:"open_window"`
+	CloseWindow int    `json:"close_window"` // -1 while open
+	FirstCycle  uint64 `json:"first_cycle"`
+	OpenCycle   uint64 `json:"open_cycle"`
+	CloseCycle  uint64 `json:"close_cycle,omitempty"`
+	// Windows counts violating windows over the incident's life, including
+	// the pre-open streak.
+	Windows int `json:"windows"`
+	// Value is the observation that opened the alert; Peak the worst
+	// observation while open (minimum for rate-floor rules).
+	Value uint64 `json:"value"`
+	Peak  uint64 `json:"peak"`
+	Open  bool   `json:"open,omitempty"`
+	// Blame ranks what moved between the pre-violation window and the
+	// opening window (absent when the streak starts at window 0 or no
+	// blamer is wired). Explanatory only: excluded from the digest.
+	Blame []BlameEntry `json:"blame,omitempty"`
+}
+
+// RuleStatus summarizes one rule in a report.
+type RuleStatus struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Severity  string `json:"severity"`
+	Threshold string `json:"threshold"`
+	Incidents int    `json:"incidents"`
+	Open      bool   `json:"open,omitempty"`
+}
+
+// Report is the exportable form of a monitor's evaluation. All content is
+// derived from simulated time, so two runs of the same scenario marshal
+// byte-identically.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Label    string `json:"label,omitempty"`
+	Interval uint64 `json:"interval"`
+	Windows  int    `json:"windows"`
+	Open     int    `json:"open"`
+	// Digest is the FNV-1a 64 hash of the firing behavior (rules and
+	// incident spans; label and blame excluded), rendered in hex;
+	// DigestValue is the same hash as a number for perfreg snapshots.
+	Digest      string       `json:"digest"`
+	DigestValue uint64       `json:"-"`
+	Rules       []RuleStatus `json:"rules"`
+	Incidents   []Incident   `json:"incidents"`
+}
+
+// Snapshot renders the monitor's state so far into a report. It can run
+// mid-stream (the /alerts endpoint) or after the final window; open
+// incidents keep CloseWindow -1.
+func (m *Monitor) Snapshot(label string) *Report {
+	rep := &Report{
+		Schema:    SchemaVersion,
+		Label:     label,
+		Interval:  m.interval,
+		Windows:   m.windows,
+		Open:      m.openCount,
+		Incidents: append([]Incident(nil), m.incidents...),
+	}
+	rep.Rules = make([]RuleStatus, len(m.rules))
+	for i := range m.rules {
+		r := &m.rules[i]
+		rep.Rules[i] = RuleStatus{
+			Name:      r.spec.Name,
+			Kind:      string(r.spec.Kind),
+			Severity:  r.severity,
+			Threshold: r.threshold,
+			Open:      r.openIdx >= 0,
+		}
+	}
+	byName := make(map[string]int, len(rep.Rules))
+	for i := range rep.Rules {
+		byName[rep.Rules[i].Name] = i
+	}
+	for i := range rep.Incidents {
+		rep.Rules[byName[rep.Incidents[i].Rule]].Incidents++
+	}
+	rep.DigestValue = rep.digest()
+	rep.Digest = fmt.Sprintf("%016x", rep.DigestValue)
+	return rep
+}
+
+// FNV-1a 64 parameters (the timeline digest's, reimplemented because its
+// helpers are unexported).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime
+		v >>= 8
+	}
+	*h = fnv64(x)
+}
+
+func (h *fnv64) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime
+	}
+	*h = fnv64(x)
+	h.u64(uint64(len(s)))
+}
+
+func (h *fnv64) b(v bool) {
+	if v {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+// digest hashes the firing behavior: the rule set and every incident's
+// span and values. The label (scenario naming varies across callers) and
+// the blame snippet (explanatory, derived from the timeline) are excluded,
+// so equal digests mean equal alerting decisions.
+func (rep *Report) digest() uint64 {
+	h := fnv64(fnvOffset)
+	h.u64(uint64(rep.Schema))
+	h.u64(rep.Interval)
+	h.u64(uint64(rep.Windows))
+	h.u64(uint64(rep.Open))
+	h.u64(uint64(len(rep.Rules)))
+	for _, r := range rep.Rules {
+		h.str(r.Name)
+		h.str(r.Kind)
+		h.str(r.Severity)
+		h.str(r.Threshold)
+		h.u64(uint64(r.Incidents))
+		h.b(r.Open)
+	}
+	h.u64(uint64(len(rep.Incidents)))
+	for _, inc := range rep.Incidents {
+		h.str(inc.Rule)
+		h.str(inc.Series)
+		h.u64(uint64(int64(inc.FirstWindow)))
+		h.u64(uint64(int64(inc.OpenWindow)))
+		h.u64(uint64(int64(inc.CloseWindow)))
+		h.u64(inc.FirstCycle)
+		h.u64(inc.OpenCycle)
+		h.u64(inc.CloseCycle)
+		h.u64(uint64(inc.Windows))
+		h.u64(inc.Value)
+		h.u64(inc.Peak)
+		h.b(inc.Open)
+	}
+	return uint64(h)
+}
+
+// WriteText renders the report in the repo's line-oriented report style.
+func WriteText(w io.Writer, rep *Report) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	label := rep.Label
+	if label == "" {
+		label = "-"
+	}
+	if err := p("# slo report: %s\n", label); err != nil {
+		return err
+	}
+	if err := p("# schema: %d  interval: %d  windows: %d  rules: %d  incidents: %d  open: %d\n",
+		rep.Schema, rep.Interval, rep.Windows, len(rep.Rules), len(rep.Incidents), rep.Open); err != nil {
+		return err
+	}
+	if err := p("# digest: %s\n", rep.Digest); err != nil {
+		return err
+	}
+	for _, r := range rep.Rules {
+		state := "ok"
+		if r.Open {
+			state = "FIRING"
+		}
+		if err := p("rule %s [%s/%s] %s: %d incident(s), %s\n",
+			r.Name, r.Kind, r.Severity, r.Threshold, r.Incidents, state); err != nil {
+			return err
+		}
+	}
+	for i, inc := range rep.Incidents {
+		span := fmt.Sprintf("windows [%d, %d] cycles (%d, %d]", inc.OpenWindow, inc.CloseWindow, inc.OpenCycle, inc.CloseCycle)
+		if inc.Open {
+			span = fmt.Sprintf("windows [%d, open) cycles (%d, ...]", inc.OpenWindow, inc.OpenCycle)
+		}
+		if err := p("incident %d: rule=%s severity=%s %s\n", i, inc.Rule, inc.Severity, span); err != nil {
+			return err
+		}
+		if err := p("  first violation: window %d @ cycle %d; %d violating window(s)\n",
+			inc.FirstWindow, inc.FirstCycle, inc.Windows); err != nil {
+			return err
+		}
+		series := inc.Series
+		if series == "" {
+			series = "(aggregate)"
+		}
+		if err := p("  value %d at open, peak %d, series %s\n", inc.Value, inc.Peak, series); err != nil {
+			return err
+		}
+		if len(inc.Blame) > 0 {
+			if err := p("  blame vs pre-violation window %d:\n", inc.FirstWindow-1); err != nil {
+				return err
+			}
+			for bi, b := range inc.Blame {
+				only := ""
+				if b.OnlyIn != "" {
+					only = "  [only in " + b.OnlyIn + "]"
+				}
+				if err := p("    %2d. %+12d  %+5d permille  %-12s %s%s\n",
+					bi+1, b.Delta, b.Permille, b.Section, b.Key, only); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJSONReports renders several reports (a netload grid, one per
+// point) as one indented JSON array document.
+func WriteJSONReports(w io.Writer, reps []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Reports []*Report `json:"reports"`
+	}{reps})
+}
+
+// CSVHeader returns the incident-table header, with any caller columns
+// (scenario identity) prepended.
+func CSVHeader(prefix ...string) []string {
+	return append(append([]string{}, prefix...),
+		"rule", "kind", "severity", "series", "first_window", "open_window",
+		"close_window", "first_cycle", "open_cycle", "close_cycle",
+		"windows", "value", "peak", "open", "threshold")
+}
+
+// AppendCSV writes the report's incidents as flat CSV rows; prefix values
+// (scenario identity) lead every row. Blame is text/JSON-only.
+func AppendCSV(w *csv.Writer, prefix []string, rep *Report) error {
+	for _, inc := range rep.Incidents {
+		row := append(append([]string{}, prefix...),
+			inc.Rule, inc.Kind, inc.Severity, inc.Series,
+			strconv.Itoa(inc.FirstWindow),
+			strconv.Itoa(inc.OpenWindow),
+			strconv.Itoa(inc.CloseWindow),
+			strconv.FormatUint(inc.FirstCycle, 10),
+			strconv.FormatUint(inc.OpenCycle, 10),
+			strconv.FormatUint(inc.CloseCycle, 10),
+			strconv.Itoa(inc.Windows),
+			strconv.FormatUint(inc.Value, 10),
+			strconv.FormatUint(inc.Peak, 10),
+			strconv.FormatBool(inc.Open),
+			inc.Threshold)
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the report as a standalone CSV document.
+func WriteCSV(w io.Writer, rep *Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader()); err != nil {
+		return err
+	}
+	if err := AppendCSV(cw, nil, rep); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

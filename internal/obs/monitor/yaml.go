@@ -1,0 +1,207 @@
+package monitor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlToAny parses the minimal YAML subset rule files use, without adding
+// a dependency: maps nested by two-space indentation, "- " list items
+// (inline "- key: value" starts the item's map), "key: value" scalars,
+// inline "[a, b]" lists, full-line and trailing "#" comments, and
+// single- or double-quoted strings. Unquoted scalars that parse as
+// integers become numbers; true/false become booleans. No anchors, flow
+// maps, multi-line strings, tabs, or documents — rule files needing more
+// should use the JSON form.
+func yamlToAny(data []byte) (any, error) {
+	var lines []yline
+	for n, raw := range strings.Split(string(data), "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " \t"))
+		if strings.ContainsRune(text[:indent], '\t') {
+			return nil, fmt.Errorf("monitor: yaml line %d: tabs are not allowed in indentation", n+1)
+		}
+		lines = append(lines, yline{indent: indent, text: trimmed, n: n + 1})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("monitor: yaml document is empty")
+	}
+	v, i, err := yParseBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if i != len(lines) {
+		return nil, fmt.Errorf("monitor: yaml line %d: content outside the root block (bad indentation?)", lines[i].n)
+	}
+	return v, nil
+}
+
+type yline struct {
+	indent int
+	text   string
+	n      int
+}
+
+// stripComment removes a full-line or trailing comment. A '#' inside a
+// quoted scalar would be cut too — keep '#' out of values or use JSON.
+func stripComment(s string) string {
+	if t := strings.TrimSpace(s); strings.HasPrefix(t, "#") {
+		return ""
+	}
+	if i := strings.Index(s, " #"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// yParseBlock parses the block starting at lines[i], whose indent level
+// defines the block.
+func yParseBlock(lines []yline, i int) (any, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return yParseList(lines, i)
+	}
+	return yParseMap(lines, i)
+}
+
+// yParseList parses consecutive "- " items at lines[i]'s indent.
+func yParseList(lines []yline, i int) (any, int, error) {
+	indent := lines[i].indent
+	var out []any
+	for i < len(lines) && lines[i].indent == indent &&
+		(strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-") {
+		rest := strings.TrimSpace(strings.TrimPrefix(lines[i].text, "-"))
+		if rest == "" {
+			// The item's content is the more-indented block below.
+			if i+1 >= len(lines) || lines[i+1].indent <= indent {
+				return nil, i, fmt.Errorf("monitor: yaml line %d: empty list item", lines[i].n)
+			}
+			v, ni, err := yParseBlock(lines, i+1)
+			if err != nil {
+				return nil, ni, err
+			}
+			out = append(out, v)
+			i = ni
+			continue
+		}
+		if k, v, ok := ySplitKV(rest); ok {
+			// "- key: value" starts the item's map; its remaining keys sit
+			// two columns deeper (aligned under the inline key).
+			lines[i] = yline{indent: indent + 2, text: yJoinKV(k, v), n: lines[i].n}
+			m, ni, err := yParseMap(lines, i)
+			if err != nil {
+				return nil, ni, err
+			}
+			out = append(out, m)
+			i = ni
+			continue
+		}
+		out = append(out, yScalar(rest))
+		i++
+	}
+	return out, i, nil
+}
+
+// yParseMap parses consecutive "key: value" lines at lines[i]'s indent.
+func yParseMap(lines []yline, i int) (any, int, error) {
+	indent := lines[i].indent
+	out := make(map[string]any)
+	for i < len(lines) && lines[i].indent == indent {
+		if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+			break
+		}
+		k, v, ok := ySplitKV(lines[i].text)
+		if !ok {
+			return nil, i, fmt.Errorf("monitor: yaml line %d: expected 'key: value'", lines[i].n)
+		}
+		if _, dup := out[k]; dup {
+			return nil, i, fmt.Errorf("monitor: yaml line %d: duplicate key %q", lines[i].n, k)
+		}
+		if v == "" {
+			if i+1 < len(lines) && lines[i+1].indent > indent {
+				child, ni, err := yParseBlock(lines, i+1)
+				if err != nil {
+					return nil, ni, err
+				}
+				out[k] = child
+				i = ni
+			} else {
+				out[k] = nil
+				i++
+			}
+			continue
+		}
+		out[k] = yScalarOrFlow(v)
+		i++
+	}
+	return out, i, nil
+}
+
+// ySplitKV splits "key: value" (or "key:"); keys are plain words, so the
+// first colon delimits.
+func ySplitKV(s string) (key, val string, ok bool) {
+	idx := strings.Index(s, ":")
+	if idx <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:idx])
+	val = strings.TrimSpace(s[idx+1:])
+	if key == "" || strings.ContainsAny(key, " \"'[]{},") {
+		return "", "", false
+	}
+	return key, val, true
+}
+
+// yJoinKV re-renders a split pair for the synthetic-line trick in
+// yParseList.
+func yJoinKV(k, v string) string {
+	if v == "" {
+		return k + ":"
+	}
+	return k + ": " + v
+}
+
+// yScalarOrFlow converts a scalar or an inline "[a, b]" list.
+func yScalarOrFlow(s string) any {
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		parts := strings.Split(inner, ",")
+		out := make([]any, 0, len(parts))
+		for _, p := range parts {
+			out = append(out, yScalar(strings.TrimSpace(p)))
+		}
+		return out
+	}
+	return yScalar(s)
+}
+
+// yScalar converts one scalar token.
+func yScalar(s string) any {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return n
+	}
+	return s
+}

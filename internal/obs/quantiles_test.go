@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quantileFixture fills one histogram with 1000 observations 0..999 so the
+// tail quantiles land in distinct buckets.
+func quantileFixture(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram(Key{Name: "transfer_latency_rounds", Node: -1, Proto: "fixture"}, nil)
+	for v := uint64(0); v < 1000; v++ {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestExportQuantilesDefault pins the default exporter surface to
+// p50/p90/p99 — the contract every recorded golden and perfreg digest
+// depends on.
+func TestExportQuantilesDefault(t *testing.T) {
+	reg := quantileFixture(t)
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"transfer_latency_rounds_p50", "transfer_latency_rounds_p90", "transfer_latency_rounds_p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("default Prometheus export missing %s", want)
+		}
+	}
+	if strings.Contains(out, "p999") {
+		t.Errorf("default Prometheus export leaks p999:\n%s", out)
+	}
+	for _, m := range reg.JSONMetrics() {
+		if m.Kind != "histogram" {
+			continue
+		}
+		if len(m.Quantiles) != 3 {
+			t.Errorf("default JSON quantiles = %v, want exactly p50/p90/p99", m.Quantiles)
+		}
+		if _, ok := m.Quantiles["p999"]; ok {
+			t.Errorf("default JSON export leaks p999: %v", m.Quantiles)
+		}
+	}
+}
+
+// TestExportQuantilesExtended: opting in to ExtendedQuantiles adds p99.9 to
+// both exporters without disturbing the default columns.
+func TestExportQuantilesExtended(t *testing.T) {
+	reg := quantileFixture(t)
+	reg.SetExportQuantiles(ExtendedQuantiles())
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"transfer_latency_rounds_p50", "transfer_latency_rounds_p99", "transfer_latency_rounds_p999"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extended Prometheus export missing %s:\n%s", want, out)
+		}
+	}
+
+	var p99, p999 uint64
+	for _, m := range reg.JSONMetrics() {
+		if m.Kind != "histogram" {
+			continue
+		}
+		if len(m.Quantiles) != 4 {
+			t.Fatalf("extended JSON quantiles = %v, want p50/p90/p99/p999", m.Quantiles)
+		}
+		p99, p999 = m.Quantiles["p99"], m.Quantiles["p999"]
+	}
+	if p999 < p99 || p999 == 0 {
+		t.Errorf("p999 = %d, p99 = %d: tail quantile should dominate", p999, p99)
+	}
+
+	// Resetting to nil restores the default surface.
+	reg.SetExportQuantiles(nil)
+	for _, m := range reg.JSONMetrics() {
+		if m.Kind == "histogram" && len(m.Quantiles) != 3 {
+			t.Errorf("after reset quantiles = %v, want defaults", m.Quantiles)
+		}
+	}
+}
+
+// TestTimelineQuantile999 lives in the timeline package; here we only pin
+// that DefaultQuantiles/ExtendedQuantiles agree on the shared prefix.
+func TestQuantileSetsSharePrefix(t *testing.T) {
+	def, ext := DefaultQuantiles(), ExtendedQuantiles()
+	if len(ext) != len(def)+1 {
+		t.Fatalf("ExtendedQuantiles adds %d entries, want exactly 1", len(ext)-len(def))
+	}
+	for i, q := range def {
+		if ext[i] != q {
+			t.Errorf("extended[%d] = %+v, want %+v", i, ext[i], q)
+		}
+	}
+	if last := ext[len(ext)-1]; last.Suffix != "p999" || last.Q != 0.999 {
+		t.Errorf("extended tail = %+v, want p999/0.999", last)
+	}
+}

@@ -190,6 +190,9 @@ type Registry struct {
 	counters map[Key]*Counter
 	levels   map[Key]*Level
 	hists    map[Key]*Histogram
+	// quantiles customizes the bucket-derived quantiles both exporters
+	// emit; nil selects DefaultQuantiles, keeping historical output stable.
+	quantiles []ExportQuantile
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"msglayer/internal/experiments"
+	"msglayer/internal/obs"
+	"msglayer/internal/obs/monitor"
+	"msglayer/internal/obs/monitor/blame"
+	"msglayer/internal/obs/timeline"
+)
+
+// alertRules fires deterministically on the fixed cm5-finite scenario: the
+// send-rate floor is far above what one 32-word transfer sustains, so the
+// alert opens mid-run; the event ceiling never fires.
+func alertRules() *monitor.RuleSet {
+	min := uint64(100000)
+	max := uint64(1 << 62)
+	return &monitor.RuleSet{Rules: []monitor.Rule{
+		{
+			Name: "send-floor", Kind: monitor.KindRate, Severity: "page",
+			Match:      monitor.Match{Prefix: "packets_sent_total"},
+			Min:        &min,
+			ForWindows: 2, ClearWindows: 2,
+		},
+		{
+			Name: "event-ceiling", Kind: monitor.KindRate,
+			Match: monitor.Match{Prefix: "protocol_events_total"},
+			Max:   &max,
+		},
+	}}
+}
+
+// fixedMonitorHub is fixedTimelineHub with an SLO monitor riding the
+// sampler's window stream.
+func fixedMonitorHub(t *testing.T) (*obs.Hub, *timeline.Sampler, *monitor.Monitor) {
+	t.Helper()
+	h := obs.NewHub()
+	// Interval 2 splits the 4-round cm5-finite run into two windows, so the
+	// two-window floor streak opens and the alert is still open at snapshot.
+	s := timeline.New(h.Metrics, timeline.Config{Interval: 2})
+	m, err := monitor.New(alertRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetBlamer(blame.Compute)
+	m.Attach(s)
+	h.SetTickListener(s.Advance)
+	experiments.SetObserver(h)
+	defer experiments.SetObserver(nil)
+	if _, err := experiments.RunCanonical("cm5-finite", 32); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(h.Round())
+	return h, s, m
+}
+
+func TestObsServeAlertsGolden(t *testing.T) {
+	h, s, m := fixedMonitorHub(t)
+	srv := New(h)
+	srv.SetTimeline(s)
+	srv.SetMonitor(m)
+	body := get(t, srv, "/alerts")
+	if !strings.Contains(string(body), "rule send-floor") {
+		t.Fatalf("/alerts text missing rule summary:\n%.1000s", body)
+	}
+	checkGolden(t, "alerts.golden", body)
+
+	jsonBody := get(t, srv, "/alerts?format=json")
+	var rep monitor.Report
+	if err := json.Unmarshal(jsonBody, &rep); err != nil {
+		t.Fatalf("/alerts?format=json does not parse: %v", err)
+	}
+	if rep.Schema != monitor.SchemaVersion || len(rep.Incidents) == 0 || rep.Digest == "" {
+		t.Fatalf("/alerts json missing fields: schema=%d incidents=%d digest=%q", rep.Schema, len(rep.Incidents), rep.Digest)
+	}
+	csvBody := get(t, srv, "/alerts?format=csv")
+	if !strings.HasPrefix(string(csvBody), "rule,kind,severity") {
+		t.Fatalf("/alerts?format=csv missing header:\n%.200s", csvBody)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts?format=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /alerts?format=bogus = %d, want 400", rec.Code)
+	}
+}
+
+func TestObsServeAlertsAbsent(t *testing.T) {
+	srv := New(fixedHub(t))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /alerts without monitor = %d, want 404", rec.Code)
+	}
+}
+
+// TestObsServeHealth covers the readiness transitions: ok without alerts,
+// degraded (503) with an open alert, shutting-down (503) once Shutdown
+// begins.
+func TestObsServeHealth(t *testing.T) {
+	srv := New(fixedHub(t))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /health without monitor = %d, want 200", rec.Code)
+	}
+	var doc struct {
+		Status     string `json:"status"`
+		SLOMonitor bool   `json:"slo_monitor"`
+		OpenAlerts int    `json:"open_alerts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/health does not parse: %v", err)
+	}
+	if doc.Status != "ok" || doc.SLOMonitor {
+		t.Fatalf("/health = %+v, want ok without monitor", doc)
+	}
+
+	h, s, m := fixedMonitorHub(t)
+	if m.OpenAlerts() == 0 {
+		t.Fatalf("fixture leaves no open alert; the health test needs one")
+	}
+	srv = New(h)
+	srv.SetTimeline(s)
+	srv.SetMonitor(m)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /health with open alert = %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/health does not parse: %v", err)
+	}
+	if doc.Status != "degraded" || !doc.SLOMonitor || doc.OpenAlerts == 0 {
+		t.Fatalf("/health = %+v, want degraded with open alerts", doc)
+	}
+
+	// Shutdown on an unstarted server still flips the probes, so the
+	// transition is testable without a listener.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /health during shutdown = %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/health does not parse: %v", err)
+	}
+	if doc.Status != "shutting-down" {
+		t.Fatalf("/health status = %q, want shutting-down", doc.Status)
+	}
+}
+
+// TestObsServeHealthzShutdown: the liveness probe answers 200 before and
+// 503 after graceful shutdown begins.
+func TestObsServeHealthzShutdown(t *testing.T) {
+	srv := New(fixedHub(t))
+	body := get(t, srv, "/healthz")
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("GET /healthz = %q, want ok", body)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz during shutdown = %d, want 503", rec.Code)
+	}
+	if strings.TrimSpace(rec.Body.String()) != "shutting down" {
+		t.Fatalf("GET /healthz during shutdown = %q, want shutting down", rec.Body.String())
+	}
+}
+
+// TestObsServeHealthzNoGoroutineLeak exercises the full lifecycle over a
+// real listener: 200 while serving, graceful shutdown, every goroutine
+// reaped, and the handler reports 503 afterward.
+func TestObsServeHealthzNoGoroutineLeak(t *testing.T) {
+	h, s, m := fixedMonitorHub(t)
+	before := runtime.NumGoroutine()
+
+	srv := New(h)
+	srv.SetTimeline(s)
+	srv.SetMonitor(m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/healthz", "/alerts"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %.200s", path, resp.StatusCode, body)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before Start, %d after Shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz after shutdown = %d, want 503", rec.Code)
+	}
+}

@@ -10,6 +10,9 @@
 //	/critpath       per-message critical-path latency attribution (text)
 //	/timeline       windowed metrics timeline JSON (when a sampler is attached)
 //	/diff           differential attribution of the live hub vs a baseline
+//	/alerts         SLO incident report (when a monitor is attached)
+//	/health         readiness: 503 while SLO alerts are open or shutting down
+//	/healthz        liveness: 200 until graceful shutdown begins, then 503
 //	/debug/pprof/   the standard net/http/pprof handlers (host-side profiles)
 //
 // The simulator is single-threaded by design, so the server serializes all
@@ -32,11 +35,13 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msglayer/internal/critpath"
 	"msglayer/internal/obs"
 	"msglayer/internal/obs/diff"
+	"msglayer/internal/obs/monitor"
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/twin"
 )
@@ -45,11 +50,13 @@ import (
 type Server struct {
 	hub *obs.Hub
 	tl  *timeline.Sampler
+	mon *monitor.Monitor
 
-	mu   sync.Mutex // serializes hub access between the sim thread and handlers
-	http *http.Server
-	ln   net.Listener
-	done chan struct{} // closed when the serve loop exits
+	mu      sync.Mutex // serializes hub access between the sim thread and handlers
+	http    *http.Server
+	ln      net.Listener
+	done    chan struct{} // closed when the serve loop exits
+	closing atomic.Bool   // set when graceful shutdown begins; /healthz flips to 503
 }
 
 // New returns an unstarted server for the hub.
@@ -65,6 +72,13 @@ func New(hub *obs.Hub) *Server {
 // advanced under Sync, like every other hub mutation; /timeline answers
 // 404 while no sampler is attached. Call before Start.
 func (s *Server) SetTimeline(tl *timeline.Sampler) { s.tl = tl }
+
+// SetMonitor attaches (or detaches, with nil) the SLO monitor the /alerts
+// and /health endpoints render. The monitor must be fed under Sync (it
+// rides the timeline sampler's window stream, which is advanced under
+// Sync); /alerts answers 404 while no monitor is attached. Call before
+// Start.
+func (s *Server) SetMonitor(m *monitor.Monitor) { s.mon = m }
 
 // Sync runs fn while holding the server's hub lock. The tool that owns the
 // hub must route every hub mutation through Sync once the server is started,
@@ -86,6 +100,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/timeline", s.handleTimeline)
 	mux.HandleFunc("/diff", s.handleDiff)
 	mux.HandleFunc("/twin", s.handleTwin)
+	mux.HandleFunc("/alerts", s.handleAlerts)
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -121,9 +138,13 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown gracefully stops the server: in-flight requests finish, then the
-// serve goroutine exits.
+// Shutdown gracefully stops the server: /healthz flips to 503 so load
+// balancers stop routing, in-flight requests finish, then the serve
+// goroutine exits. The closing flag is set before the unstarted-server
+// early return so the liveness transition is observable in tests without
+// a listener.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
 	if s.http == nil {
 		return nil
 	}
@@ -134,6 +155,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Close force-stops the server without waiting for in-flight requests.
 func (s *Server) Close() error {
+	s.closing.Store(true)
 	if s.http == nil {
 		return nil
 	}
@@ -171,6 +193,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /timeline       windowed metrics timeline JSON")
 	fmt.Fprintln(w, "  /diff           live hub vs a baseline artifact (POST body or ?file=)")
 	fmt.Fprintln(w, "  /twin           O(1) analytic twin prediction (?load=&mode=... or ?proto=&words=)")
+	fmt.Fprintln(w, "  /alerts         SLO incident report (?format=text|json|csv)")
+	fmt.Fprintln(w, "  /health         readiness: 503 while SLO alerts are open or shutting down")
+	fmt.Fprintln(w, "  /healthz        liveness: 200 until graceful shutdown begins")
 	fmt.Fprintln(w, "  /debug/pprof/   host-side Go profiles")
 }
 
@@ -444,4 +469,89 @@ func (s *Server) handleCritpath(w http.ResponseWriter, _ *http.Request) {
 		}
 		return critpath.WriteText(b, critpath.Analyze(s.hub.Trace.Events()))
 	})
+}
+
+// handleAlerts renders the attached SLO monitor's incident report so far:
+// the live view of the same document -slo-out writes at exit. ?format=json
+// or ?format=csv select the encoding; the default is the text report.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		http.Error(w, "no SLO monitor attached", http.StatusNotFound)
+		return
+	}
+	contentType := "text/plain; charset=utf-8"
+	var write func(*bytes.Buffer, *monitor.Report) error
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		write = func(b *bytes.Buffer, rep *monitor.Report) error { return monitor.WriteText(b, rep) }
+	case "json":
+		contentType = "application/json"
+		write = func(b *bytes.Buffer, rep *monitor.Report) error { return monitor.WriteJSON(b, rep) }
+	case "csv":
+		contentType = "text/csv; charset=utf-8"
+		write = func(b *bytes.Buffer, rep *monitor.Report) error { return monitor.WriteCSV(b, rep) }
+	default:
+		http.Error(w, "unknown format (want text, json, or csv)", http.StatusBadRequest)
+		return
+	}
+	s.render(w, contentType, func(b *bytes.Buffer) error {
+		return write(b, s.mon.Snapshot("live"))
+	})
+}
+
+// healthDoc is the /health schema.
+type healthDoc struct {
+	Status     string `json:"status"` // ok | degraded | shutting-down
+	Round      uint64 `json:"round"`
+	SLOMonitor bool   `json:"slo_monitor"`
+	Windows    int    `json:"windows,omitempty"`
+	OpenAlerts int    `json:"open_alerts"`
+	Incidents  int    `json:"incidents"`
+}
+
+// handleHealth is the readiness probe: it answers 503 while graceful
+// shutdown is under way or any SLO alert is open, 200 otherwise, always
+// with a JSON body describing why. Without a monitor it degrades to a
+// plain liveness answer with zero alert counts.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	doc := healthDoc{Status: "ok"}
+	s.mu.Lock()
+	doc.Round = s.hub.Round()
+	if s.mon != nil {
+		doc.SLOMonitor = true
+		doc.Windows = s.mon.Windows()
+		doc.OpenAlerts = s.mon.OpenAlerts()
+		doc.Incidents = s.mon.IncidentCount()
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	switch {
+	case s.closing.Load():
+		doc.Status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	case doc.OpenAlerts > 0:
+		doc.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// handleHealthz is the liveness probe: a bare 200 "ok" until graceful
+// shutdown begins, then 503 "shutting down" so load balancers drain the
+// instance while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.closing.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "shutting down")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }

@@ -24,6 +24,11 @@ type Timeline struct {
 	Interval uint64   `json:"interval"`
 	Windows  []Window `json:"windows"`
 	Dropped  uint64   `json:"dropped,omitempty"`
+	// Quantiles lists the windowed histogram quantiles beyond the default
+	// p50/p90/p99 set (today: "p999" when Config.Quantile999 is set). Empty
+	// for default-configured samplers, keeping their marshaled form and
+	// digest identical to earlier schema-1 timelines.
+	Quantiles []string `json:"quantiles,omitempty"`
 	// Digest is the FNV-1a 64 hash of the timeline content, rendered in
 	// hex; DigestValue is the same hash as a number (for perfreg
 	// snapshots), excluded from the marshaled form.
@@ -73,6 +78,9 @@ type HistDelta struct {
 	P50   uint64 `json:"p50"`
 	P90   uint64 `json:"p90"`
 	P99   uint64 `json:"p99"`
+	// P999 is populated (and folded into the digest) only when the sampler
+	// was configured with Quantile999; see Timeline.Quantiles.
+	P999 uint64 `json:"p999,omitempty"`
 }
 
 // BreakdownCell is one Role×Feature×Category aggregate of a window's
@@ -97,46 +105,61 @@ func (s *Sampler) Snapshot() *Timeline {
 		Windows:  make([]Window, 0, len(s.windows)),
 		Dropped:  s.dropped,
 	}
-	for wi, w := range s.windows {
-		win := Window{Index: wi, Start: w.start, End: w.end}
-		width := w.end - w.start
-		cells := make(map[cellKey]uint64)
-		for _, d := range s.cds[w.c0:w.c1] {
-			k := s.ctrKeys[d.series]
-			win.Counters = append(win.Counters, CounterDelta{
-				Key:           k.String(),
-				Delta:         d.delta,
-				RatePerKCycle: d.delta * 1000 / width,
-			})
-			if k.Name == "protocol_events_total" {
-				win.Events += d.delta
-				cells[cellOf(k)] += d.delta
-			}
-		}
-		for _, l := range s.lss[w.l0:w.l1] {
-			win.Levels = append(win.Levels, LevelSample{Key: s.lvlKeys[l.series].String(), Value: l.value})
-		}
-		for _, h := range s.hds[w.h0:w.h1] {
-			bounds := s.hst[h.series].h.Bounds()
-			buckets := s.buckets[h.b0 : int(h.b0)+len(bounds)+1]
-			win.Hists = append(win.Hists, HistDelta{
-				Key:   s.hstKeys[h.series].String(),
-				Count: h.dn,
-				Sum:   h.dsum,
-				P50:   quantileFromDeltas(bounds, buckets, h.dn, 0.50),
-				P90:   quantileFromDeltas(bounds, buckets, h.dn, 0.90),
-				P99:   quantileFromDeltas(bounds, buckets, h.dn, 0.99),
-			})
-		}
-		win.Breakdown = breakdownCells(cells)
-		sort.Slice(win.Counters, func(i, j int) bool { return win.Counters[i].Key < win.Counters[j].Key })
-		sort.Slice(win.Levels, func(i, j int) bool { return win.Levels[i].Key < win.Levels[j].Key })
-		sort.Slice(win.Hists, func(i, j int) bool { return win.Hists[i].Key < win.Hists[j].Key })
-		tl.Windows = append(tl.Windows, win)
+	if s.q999 {
+		tl.Quantiles = []string{"p999"}
+	}
+	for wi := range s.windows {
+		tl.Windows = append(tl.Windows, s.SnapshotWindow(wi))
 	}
 	tl.DigestValue = tl.digest()
 	tl.Digest = fmt.Sprintf("%016x", tl.DigestValue)
 	return tl
+}
+
+// SnapshotWindow renders one stored window into its exportable form. Like
+// Snapshot it is a cold path and allocates freely; the SLO monitor uses it
+// to materialize just the pre-violation and violation windows for blame.
+func (s *Sampler) SnapshotWindow(wi int) Window {
+	w := s.windows[wi]
+	win := Window{Index: wi, Start: w.start, End: w.end}
+	width := w.end - w.start
+	cells := make(map[cellKey]uint64)
+	for _, d := range s.cds[w.c0:w.c1] {
+		k := s.ctrKeys[d.series]
+		win.Counters = append(win.Counters, CounterDelta{
+			Key:           k.String(),
+			Delta:         d.delta,
+			RatePerKCycle: d.delta * 1000 / width,
+		})
+		if k.Name == "protocol_events_total" {
+			win.Events += d.delta
+			cells[cellOf(k)] += d.delta
+		}
+	}
+	for _, l := range s.lss[w.l0:w.l1] {
+		win.Levels = append(win.Levels, LevelSample{Key: s.lvlKeys[l.series].String(), Value: l.value})
+	}
+	for _, h := range s.hds[w.h0:w.h1] {
+		bounds := s.hst[h.series].h.Bounds()
+		buckets := s.buckets[h.b0 : int(h.b0)+len(bounds)+1]
+		hd := HistDelta{
+			Key:   s.hstKeys[h.series].String(),
+			Count: h.dn,
+			Sum:   h.dsum,
+			P50:   QuantileFromDeltas(bounds, buckets, h.dn, 0.50),
+			P90:   QuantileFromDeltas(bounds, buckets, h.dn, 0.90),
+			P99:   QuantileFromDeltas(bounds, buckets, h.dn, 0.99),
+		}
+		if s.q999 {
+			hd.P999 = QuantileFromDeltas(bounds, buckets, h.dn, 0.999)
+		}
+		win.Hists = append(win.Hists, hd)
+	}
+	win.Breakdown = breakdownCells(cells)
+	sort.Slice(win.Counters, func(i, j int) bool { return win.Counters[i].Key < win.Counters[j].Key })
+	sort.Slice(win.Levels, func(i, j int) bool { return win.Levels[i].Key < win.Levels[j].Key })
+	sort.Slice(win.Hists, func(i, j int) bool { return win.Hists[i].Key < win.Hists[j].Key })
+	return win
 }
 
 // cellKey aggregates breakdown cells in a deterministic numeric order.
@@ -189,11 +212,12 @@ func breakdownCells(cells map[cellKey]uint64) []BreakdownCell {
 	return out
 }
 
-// quantileFromDeltas is Histogram.Quantile over one window's bucket-count
+// QuantileFromDeltas is Histogram.Quantile over one window's bucket-count
 // deltas: the smallest bound whose cumulative windowed count covers rank
 // ceil(q*n). Overflow ranks report the last finite bound (the window's
-// true maximum is not tracked).
-func quantileFromDeltas(bounds, buckets []uint64, n uint64, q float64) uint64 {
+// true maximum is not tracked). Exported so the SLO monitor evaluates
+// live windows with exactly the arithmetic the exported timeline carries.
+func QuantileFromDeltas(bounds, buckets []uint64, n uint64, q float64) uint64 {
 	if n == 0 {
 		return 0
 	}
@@ -249,13 +273,21 @@ func (h *fnv64) str(s string) {
 }
 
 // digest hashes the timeline content (FNV-1a 64). Breakdown cells are
-// derived from the counters and excluded.
+// derived from the counters and excluded. Extended quantiles (and their
+// marker list) are hashed only when present, so default-configured
+// timelines keep their historical digests.
 func (tl *Timeline) digest() uint64 {
 	h := fnv64(fnvOffset)
 	h.u64(uint64(tl.Schema))
 	h.u64(tl.Interval)
 	h.u64(tl.Dropped)
 	h.u64(uint64(len(tl.Windows)))
+	extended := len(tl.Quantiles) > 0
+	if extended {
+		for _, q := range tl.Quantiles {
+			h.str(q)
+		}
+	}
 	for _, w := range tl.Windows {
 		h.u64(w.Start)
 		h.u64(w.End)
@@ -274,6 +306,9 @@ func (tl *Timeline) digest() uint64 {
 			h.u64(hd.P50)
 			h.u64(hd.P90)
 			h.u64(hd.P99)
+			if extended {
+				h.u64(hd.P999)
+			}
 		}
 	}
 	return uint64(h)
@@ -298,6 +333,7 @@ func CSVHeader(prefix ...string) []string {
 // For counters, extra is the rate per thousand cycles; for hists, the
 // windowed quantiles. prefix values (scenario identity) lead every row.
 func AppendCSV(w *csv.Writer, prefix []string, tl *Timeline) error {
+	extended := len(tl.Quantiles) > 0
 	row := func(win Window, kind, key, value, extra string) error {
 		r := append(append([]string{}, prefix...),
 			strconv.Itoa(win.Index),
@@ -320,6 +356,9 @@ func AppendCSV(w *csv.Writer, prefix []string, tl *Timeline) error {
 		}
 		for _, h := range win.Hists {
 			extra := fmt.Sprintf("p50=%d;p90=%d;p99=%d", h.P50, h.P90, h.P99)
+			if extended {
+				extra += fmt.Sprintf(";p999=%d", h.P999)
+			}
 			if err := row(win, "hist", h.Key, strconv.FormatUint(h.Count, 10), extra); err != nil {
 				return err
 			}

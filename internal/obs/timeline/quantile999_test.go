@@ -1,0 +1,74 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msglayer/internal/obs"
+)
+
+// q999Fixture drives one histogram through enough observations that p99.9
+// separates from p99.
+func q999Fixture(t *testing.T, cfg Config) *Sampler {
+	t.Helper()
+	reg := obs.NewRegistry()
+	h := reg.Histogram(obs.Key{Name: "transfer_latency_rounds", Node: -1, Proto: "fixture"}, nil)
+	s := New(reg, cfg)
+	for v := uint64(0); v < 2000; v++ {
+		h.Observe(v % 1024)
+	}
+	s.Flush(cfg.Interval)
+	return s
+}
+
+// TestTimelineQuantile999 pins the opt-in wire format: the quantiles
+// marker, per-window P999 values, and a digest distinct from the default
+// rendering of the same data.
+func TestTimelineQuantile999(t *testing.T) {
+	base := q999Fixture(t, Config{Interval: 10}).Snapshot()
+	ext := q999Fixture(t, Config{Interval: 10, Quantile999: true}).Snapshot()
+
+	if len(base.Quantiles) != 0 {
+		t.Fatalf("default timeline advertises quantiles %v, want none", base.Quantiles)
+	}
+	if len(ext.Quantiles) != 1 || ext.Quantiles[0] != "p999" {
+		t.Fatalf("extended timeline quantiles = %v, want [p999]", ext.Quantiles)
+	}
+	for _, w := range base.Windows {
+		for _, hd := range w.Hists {
+			if hd.P999 != 0 {
+				t.Fatalf("default window carries P999 = %d", hd.P999)
+			}
+		}
+	}
+	var sawP999 bool
+	for _, w := range ext.Windows {
+		for _, hd := range w.Hists {
+			if hd.P999 >= hd.P99 && hd.P999 > 0 {
+				sawP999 = true
+			}
+		}
+	}
+	if !sawP999 {
+		t.Fatalf("extended windows never exported a p999 >= p99")
+	}
+	if base.Digest == ext.Digest {
+		t.Fatalf("digest ignores the quantile extension: %s", base.Digest)
+	}
+
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, ext); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), ";p999=") {
+		t.Fatalf("extended CSV missing p999 column:\n%s", csv.String())
+	}
+	var defCSV bytes.Buffer
+	if err := WriteCSV(&defCSV, base); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(defCSV.String(), "p999") {
+		t.Fatalf("default CSV leaks p999:\n%s", defCSV.String())
+	}
+}

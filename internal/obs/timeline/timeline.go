@@ -37,6 +37,10 @@ type Config struct {
 	Interval uint64
 	// MaxWindows caps retained windows (0 = DefaultMaxWindows).
 	MaxWindows int
+	// Quantile999 adds a windowed p99.9 to every exported histogram delta
+	// (and marks the timeline's quantile list accordingly). Off by default
+	// so existing timelines, goldens, and digests stay byte-identical.
+	Quantile999 bool
 }
 
 // ctrack is one tracked counter: the live series and the value already
@@ -121,6 +125,13 @@ type Sampler struct {
 	next    uint64 // next window boundary (the end of the open window)
 	dropped uint64
 	flushed bool
+	q999    bool
+
+	// onWindow, when set, fires after each window is stored (never for
+	// windows dropped at the cap), with the new window's index. It is the
+	// subscription point for streaming consumers (the SLO monitor); the
+	// callback runs on the sampling path, so it must not mutate the sampler.
+	onWindow func(idx int)
 }
 
 // New builds a sampler over reg. Series already in the registry are
@@ -139,6 +150,7 @@ func New(reg *obs.Registry, cfg Config) *Sampler {
 		interval:   cfg.Interval,
 		maxWindows: cfg.MaxWindows,
 		next:       cfg.Interval,
+		q999:       cfg.Quantile999,
 		ctrIdx:     make(map[obs.Key]int32),
 		lvlIdx:     make(map[obs.Key]int32),
 		hstIdx:     make(map[obs.Key]int32),
@@ -149,6 +161,12 @@ func New(reg *obs.Registry, cfg Config) *Sampler {
 
 // Interval returns the configured window width in cycles.
 func (s *Sampler) Interval() uint64 { return s.interval }
+
+// SetWindowListener registers fn to run after every stored window, with the
+// window's index. One listener is supported; nil detaches. Dropped windows
+// (past the cap) never notify — the stream a listener sees is exactly the
+// stream Snapshot exports.
+func (s *Sampler) SetWindowListener(fn func(idx int)) { s.onWindow = fn }
 
 // Windows returns the number of closed windows.
 func (s *Sampler) Windows() int { return len(s.windows) }
@@ -262,6 +280,45 @@ func (s *Sampler) sample(start, end uint64) {
 		l0: l0, l1: len(s.lss),
 		h0: h0, h1: len(s.hds),
 	})
+	if s.onWindow != nil {
+		s.onWindow(len(s.windows) - 1)
+	}
+}
+
+// WindowBounds returns the cycle range (start, end] of stored window idx.
+func (s *Sampler) WindowBounds(idx int) (start, end uint64) {
+	w := &s.windows[idx]
+	return w.start, w.end
+}
+
+// CounterSeries returns the number of tracked counter series; CounterKeyAt
+// returns the key of series i. Series ids are stable across rescans, so a
+// consumer can cache per-series state and refresh only when the count grows.
+func (s *Sampler) CounterSeries() int           { return len(s.ctr) }
+func (s *Sampler) CounterKeyAt(i int) obs.Key   { return s.ctrKeys[i] }
+func (s *Sampler) HistogramSeries() int         { return len(s.hst) }
+func (s *Sampler) HistogramKeyAt(i int) obs.Key { return s.hstKeys[i] }
+
+// EachWindowCounter calls fn for every counter that moved in stored window
+// idx, in tracking (series id) order. It allocates nothing; fn must not
+// mutate the sampler.
+func (s *Sampler) EachWindowCounter(idx int, fn func(series int, delta uint64)) {
+	w := &s.windows[idx]
+	for _, d := range s.cds[w.c0:w.c1] {
+		fn(int(d.series), d.delta)
+	}
+}
+
+// EachWindowHistogram calls fn for every histogram that observed values in
+// stored window idx, in tracking order, with the window's own bucket-count
+// deltas (aligned to bounds, plus the trailing overflow bucket). It
+// allocates nothing; fn must not mutate the sampler or retain the slices.
+func (s *Sampler) EachWindowHistogram(idx int, fn func(series int, dn, dsum uint64, bounds, buckets []uint64)) {
+	w := &s.windows[idx]
+	for _, d := range s.hds[w.h0:w.h1] {
+		bounds := s.hst[d.series].h.Bounds()
+		fn(int(d.series), d.dn, d.dsum, bounds, s.buckets[d.b0:int(d.b0)+len(bounds)+1])
+	}
 }
 
 // rescan folds newly created registry series into the tracked set (cold

@@ -284,8 +284,8 @@ func TestQuantileFromDeltas(t *testing.T) {
 		{"above-one-clamps", []uint64{1, 0, 0, 1, 0}, 2, 3.5, 8},
 	}
 	for _, c := range cases {
-		if got := quantileFromDeltas(bounds, c.buckets, c.n, c.q); got != c.want {
-			t.Errorf("%s: quantileFromDeltas(q=%v) = %d, want %d", c.name, c.q, got, c.want)
+		if got := QuantileFromDeltas(bounds, c.buckets, c.n, c.q); got != c.want {
+			t.Errorf("%s: QuantileFromDeltas(q=%v) = %d, want %d", c.name, c.q, got, c.want)
 		}
 	}
 }

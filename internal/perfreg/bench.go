@@ -6,6 +6,7 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/monitor"
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/sim"
 	"msglayer/internal/topology"
@@ -35,6 +36,7 @@ const (
 	BenchTickLarge       = "flitnet-tick-large"
 	BenchTickLargeShard4 = "flitnet-tick-large-shard4"
 	BenchTwinEval        = "twin-eval"
+	BenchMonitorEval     = "monitor-eval"
 )
 
 // recordBenches runs the allocation benchmarks the PR gate tracks: the
@@ -55,6 +57,7 @@ func recordBenches() []BenchResult {
 		benchResult(BenchTickLargeShard4, func(b *testing.B) { benchFlitnetLarge(b, 4) }),
 		benchResult("timeline-sample", benchTimelineSample),
 		benchResult(BenchTwinEval, benchTwinEval),
+		benchResult(BenchMonitorEval, benchMonitorEval),
 	}
 }
 
@@ -322,6 +325,49 @@ func benchTimelineSample(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	loop(b.N)
+}
+
+// benchMonitorEval is the exported-API twin of the monitor package's
+// TestMonitorEvalAllocs: every op mutates the counters and histogram the
+// canonical rules watch, then advances a 1-cycle-window sampler with the
+// SLO monitor riding the window stream — closing a window and evaluating
+// every rule per op. Steady-state evaluation promises zero allocations;
+// the workload is tuned so no rule fires (incident opening is the allowed
+// cold path).
+func benchMonitorEval(b *testing.B) {
+	reg := obs.NewRegistry()
+	delivered := reg.Counter(obs.Key{Name: "net_delivered_total", Node: -1, Proto: "bench"})
+	injected := reg.Counter(obs.Key{Name: "net_injected_total", Node: -1, Proto: "bench"})
+	h := reg.Histogram(obs.Key{Name: "transfer_latency_rounds", Node: -1, Proto: "bench"}, nil)
+	s := timeline.New(reg, timeline.Config{Interval: 1})
+	mon, err := monitor.New(monitor.CanonicalRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.Attach(s)
+	const rotateAt = 1 << 15
+	cycle := uint64(0)
+	loop := func(n int) {
+		for i := 0; i < n; i++ {
+			cycle++
+			delivered.Add(3)
+			injected.Add(3)
+			h.Observe(cycle % 64)
+			s.Advance(cycle)
+			if s.Windows() >= rotateAt {
+				s.Reset(cycle)
+			}
+		}
+	}
+	loop(rotateAt) // grow arenas, compile series dispatch, warm burn rings
+	s.Reset(cycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	loop(b.N)
+	b.StopTimer()
+	if mon.IncidentCount() != 0 {
+		b.Fatalf("bench workload fired %d incidents; the measured path must stay steady-state", mon.IncidentCount())
+	}
 }
 
 // noopEvent is package-level so scheduling it allocates no closure.

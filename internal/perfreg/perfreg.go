@@ -34,6 +34,7 @@ import (
 	"msglayer/internal/flitnet"
 	"msglayer/internal/network"
 	"msglayer/internal/obs"
+	"msglayer/internal/obs/monitor"
 	"msglayer/internal/obs/timeline"
 	"msglayer/internal/parsweep"
 	"msglayer/internal/report"
@@ -43,7 +44,12 @@ import (
 )
 
 // SchemaVersion identifies the snapshot layout; bump on incompatible
-// changes. Version 6 added the analytic-twin calibration scenario (the
+// changes. Version 7 added the SLO alert digests (the canonical monitor
+// rules replayed over each netload mode's recorded timeline, with the
+// alert report's digest and incident count joining the exact-equality
+// gate — any PR that shifts when an alert opens or closes fails the gate
+// even if the totals agree) and the monitor-eval allocation benchmark.
+// Version 6 added the analytic-twin calibration scenario (the
 // per-regime MAPE and Pearson-r accuracy aggregates as permyriad sim keys,
 // exact-equality gated like every other deterministic metric) and the
 // twin-eval benchmark. Version 5 added the GOMAXPROCS stamp and the sharded-engine
@@ -59,7 +65,7 @@ import (
 // speedup gates within one snapshot). Version 2 added the parallelism
 // stamp and the allocation benchmark section. Older snapshots still load:
 // the new sections are simply absent, and absent sections are not gated.
-const SchemaVersion = 6
+const SchemaVersion = 7
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -520,6 +526,21 @@ func runNetloadPoint(cycles int, observe bool) (map[string]uint64, error) {
 			tl := sampler.Snapshot()
 			out[prefix+"timeline_digest"] = tl.DigestValue
 			out[prefix+"timeline_windows"] = uint64(len(tl.Windows))
+			// The canonical SLO rules replay over the same timeline; the
+			// alert report digest pins when every alert opens and closes.
+			// Blame is not wired here (it lives above perfreg in the import
+			// graph) — the report digest excludes blame, so these digests
+			// match reports produced with blame attached.
+			mon, err := monitor.New(monitor.CanonicalRules())
+			if err != nil {
+				return nil, err
+			}
+			if err := mon.Replay(tl); err != nil {
+				return nil, fmt.Errorf("%s: %w", mode, err)
+			}
+			rep := mon.Snapshot("")
+			out[prefix+"alert_digest"] = rep.DigestValue
+			out[prefix+"alert_incidents"] = uint64(len(rep.Incidents))
 		}
 		out[prefix+"injected"] = st.Injected
 		out[prefix+"delivered"] = st.Delivered

@@ -293,8 +293,8 @@ func TestPerfregRecordBenchesSmoke(t *testing.T) {
 		t.Skip("allocation benchmarks take a couple of seconds")
 	}
 	benches := recordBenches()
-	if len(benches) != 9 {
-		t.Fatalf("got %d benches, want 9", len(benches))
+	if len(benches) != 10 {
+		t.Fatalf("got %d benches, want 10", len(benches))
 	}
 	byName := make(map[string]BenchResult, len(benches))
 	for _, b := range benches {
